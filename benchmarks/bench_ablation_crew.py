@@ -1,0 +1,60 @@
+"""Ablation A6: CRCW vs CREW (Alg. 1 vs Alg. 2 UPDATE).
+
+Lemma 2 vs Lemma 5: the CREW pull-update trades the scatter atomics for
+per-vertex Counts, raising work from O(n+m) to O(m + n d).  This bench
+measures both across a graph-size sweep and checks the measured work
+tracks each bound's shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_markdown
+from repro.graphs.generators import kronecker
+from repro.graphs.properties import degeneracy
+from repro.ordering.adg import adg_ordering
+
+from .conftest import save_report
+
+SCALES = [9, 10, 11, 12]
+
+
+@pytest.mark.parametrize("update", ["push", "pull"])
+def test_bench_update_style(benchmark, update):
+    g = kronecker(scale=11, edge_factor=8, seed=0)
+    benchmark.pedantic(
+        lambda: adg_ordering(g, eps=0.01, seed=0, update=update),
+        rounds=1, iterations=1)
+
+
+def test_report_ablation_crew(benchmark):
+    rows = []
+    for scale in SCALES:
+        g = kronecker(scale=scale, edge_factor=8, seed=scale,
+                      name=f"kron{scale}")
+        d = degeneracy(g)
+        push = adg_ordering(g, eps=0.01, seed=0, update="push")
+        pull = adg_ordering(g, eps=0.01, seed=0, update="pull")
+        nm = g.n + 2 * g.m
+        rows.append({
+            "graph": g.name, "n": g.n, "m": g.m, "d": d,
+            "push_work": push.cost.work,
+            "push_work/(n+m)": round(push.cost.work / nm, 2),
+            "pull_work": pull.cost.work,
+            "pull_work/(m+nd)": round(pull.cost.work
+                                      / (2 * g.m + g.n * max(d, 1)), 2),
+        })
+    save_report("ablation_crew",
+                "Ablation A6 - CRCW (push) vs CREW (pull) UPDATE work",
+                format_markdown(rows))
+
+    # push work stays a bounded multiple of n+m across the sweep
+    push_ratios = [r["push_work/(n+m)"] for r in rows]
+    assert max(push_ratios) / min(push_ratios) < 2.5
+    # pull work stays a bounded multiple of m + nd across the sweep
+    pull_ratios = [r["pull_work/(m+nd)"] for r in rows]
+    assert max(pull_ratios) / min(pull_ratios) < 2.5
+    # and pull is always the more expensive of the two
+    for r in rows:
+        assert r["pull_work"] > r["push_work"]

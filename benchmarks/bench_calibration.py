@@ -1,0 +1,51 @@
+"""Cost-model calibration: does recorded work predict wall-clock time?
+
+Validates substitution S1: across a 16x size sweep, the Spearman rank
+correlation between each algorithm's model work and its single-thread
+wall time must be strong (the model is what the scaling figures trust).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_markdown
+from repro.bench.calibration import calibrate, work_time_correlation
+from repro.graphs.generators import kronecker
+
+from .conftest import save_report
+
+ALGS = ["JP-ADG", "JP-R", "ITR", "DEC-ADG-ITR"]
+
+
+@pytest.fixture(scope="module")
+def points():
+    graphs = [kronecker(scale=s, edge_factor=8, seed=s, name=f"kron{s}")
+              for s in [8, 9, 10, 11, 12]]
+    return calibrate(graphs, ALGS, seed=0, repeats=2)
+
+
+def test_bench_calibrate(benchmark):
+    g = kronecker(scale=10, edge_factor=8, seed=0)
+    benchmark.pedantic(lambda: calibrate([g], ["JP-ADG"], repeats=1),
+                       rounds=1, iterations=1)
+
+
+def test_report_calibration(benchmark, points):
+    corr = work_time_correlation(points)
+    rows = [{"algorithm": p.algorithm, "graph": p.graph, "n": p.n,
+             "model_work": p.model_work,
+             "wall_ms": round(p.wall_seconds * 1e3, 2)} for p in points]
+    rows += [{"algorithm": a, "graph": "<spearman>", "n": "",
+              "model_work": "", "wall_ms": round(c, 3)}
+             for a, c in sorted(corr.items())]
+    save_report("calibration_work_vs_time",
+                "Cost-model calibration - model work vs wall-clock "
+                "(Spearman rank correlation per algorithm)",
+                format_markdown(rows))
+
+
+def test_shape_model_predicts_time(benchmark, points):
+    corr = work_time_correlation(points)
+    for alg, c in corr.items():
+        assert c >= 0.8, (alg, c)

@@ -1,0 +1,69 @@
+"""Longest-path study: the quantity behind the paper's depth bounds.
+
+Lemma 7 bounds the expected longest path of the JP DAG under the ADG
+order by O(d log n + log d log²n / loglog n); under SL the path can be
+Θ(n) (the paper's Ω(n) examples).  This bench measures the realized JP
+wave counts (= longest path + 1) per ordering and asserts the
+separation the depth analysis predicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_markdown
+from repro.bench.datasets import dataset
+from repro.coloring.jp import jp_by_name
+from repro.graphs.generators import path_graph
+from repro.graphs.properties import degeneracy
+
+from .conftest import save_report
+
+ORDERINGS = ["FF", "R", "LF", "LLF", "SL", "SLL", "ASL", "ADG", "ADG-M"]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return dataset("s_you")
+
+
+@pytest.mark.parametrize("name", ORDERINGS)
+def test_bench_wave_counts(benchmark, name, graph):
+    benchmark.pedantic(lambda: jp_by_name(graph, name, seed=0),
+                       rounds=1, iterations=1)
+
+
+def test_report_dag_paths(benchmark, graph):
+    d = degeneracy(graph)
+    logn = np.log2(graph.n)
+    rows = []
+    for name in ORDERINGS:
+        res = jp_by_name(graph, name, seed=0)
+        rows.append({
+            "ordering": name,
+            "waves": res.rounds,
+            "waves/(d*logn)": round(res.rounds / (max(d, 1) * logn), 3),
+            "colors": res.num_colors,
+        })
+    save_report("dag_longest_paths",
+                f"JP wave counts (longest DAG path + 1) per ordering on "
+                f"{graph.name} (d={d}, log2 n={logn:.1f})",
+                format_markdown(rows))
+
+    by = {r["ordering"]: r["waves"] for r in rows}
+    # Lemma 7 fingerprint: the ADG path stays within a small multiple of
+    # d log n on a scale-free graph
+    assert by["ADG"] <= 4 * max(d, 1) * logn
+    # random-order-based DAGs are shallow; all stay far below n
+    for name in ORDERINGS:
+        assert by[name] < graph.n / 4, name
+
+
+def test_shape_ff_pathological_on_paths(benchmark):
+    """JP-FF's Omega(n) worst case: the path with first-fit order."""
+    g = path_graph(512)
+    ff = jp_by_name(g, "FF", seed=0)
+    adg = jp_by_name(g, "ADG", seed=0, eps=0.1)
+    assert ff.rounds == g.n          # one wave per vertex
+    assert adg.rounds <= 64          # polylog-ish

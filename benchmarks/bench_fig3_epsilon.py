@@ -1,0 +1,64 @@
+"""Fig. 3 reproduction: the eps quality/parallelism trade-off.
+
+Sweeps eps over {0.01 .. 1.0} on the h-bai (scale-free) and v-usa
+(road-network) stand-ins, reporting JP-ADG and DEC-ADG-ITR color counts
+and simulated run-times.  The paper's claim: larger eps lowers run-time
+(fewer ADG iterations) with only a minor quality decrease.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import dataset
+from repro.bench.epsilon import epsilon_sweep
+from repro.bench.report import epsilon_report
+
+from .conftest import save_report
+
+EPS_VALUES = [0.01, 0.03, 0.1, 0.3, 1.0]
+
+
+@pytest.fixture(scope="module")
+def points_hbai():
+    return epsilon_sweep(dataset("h_bai"), EPS_VALUES, seed=0)
+
+
+@pytest.fixture(scope="module")
+def points_vusa():
+    return epsilon_sweep(dataset("v_usa"), EPS_VALUES, seed=0)
+
+
+def test_bench_eps_sweep(benchmark):
+    benchmark.pedantic(
+        lambda: epsilon_sweep(dataset("h_bai"), [0.01, 1.0], seed=0),
+        rounds=1, iterations=1)
+
+
+def test_report_fig3(benchmark, points_hbai, points_vusa):
+    body = epsilon_report(points_hbai) + "\n\n" + epsilon_report(points_vusa)
+    save_report("fig3_epsilon",
+                "Fig. 3 - impact of eps on run-time and coloring quality",
+                body)
+
+
+def test_shape_iterations_fall_with_eps(benchmark, points_hbai):
+    iters = [p.adg_iterations for p in points_hbai
+             if p.algorithm == "JP-ADG"]
+    assert iters == sorted(iters, reverse=True)
+    assert iters[0] > iters[-1]
+
+
+def test_shape_quality_decrease_is_minor(benchmark, points_hbai, points_vusa):
+    """Across the whole eps spectrum the quality stays competitive
+    (the paper: the decrease is minor)."""
+    for points in (points_hbai, points_vusa):
+        for alg in ("JP-ADG", "DEC-ADG-ITR"):
+            colors = [p.colors for p in points if p.algorithm == alg]
+            assert max(colors) <= 2.0 * min(colors)
+
+
+def test_shape_depth_falls_with_eps(benchmark, points_hbai):
+    jp = sorted((p.eps, p.depth) for p in points_hbai
+                if p.algorithm == "JP-ADG")
+    assert jp[-1][1] <= jp[0][1]

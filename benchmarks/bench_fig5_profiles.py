@@ -1,0 +1,38 @@
+"""Fig. 5 reproduction: performance profile of coloring quality.
+
+Builds the Dolan-More profile over the Fig. 1 color counts.  The paper's
+claim: DEC-ADG-ITR, JP-ADG, and JP-SL dominate the profile (their curves
+reach the top first).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.profiles import performance_profile
+from repro.bench.report import fig5_profile_report
+
+from .conftest import save_report
+
+
+def test_report_fig5(benchmark, fig1_result):
+    save_report("fig5_quality_profile",
+                "Fig. 5 - performance profile of coloring quality "
+                "(fractions of instances within tau of the best)",
+                fig5_profile_report(fig1_result))
+
+
+def test_shape_quality_leaders_dominate(benchmark, fig1_result):
+    curves = performance_profile(fig1_result.colors_matrix())
+    leaders = ["JP-ADG", "JP-SL", "DEC-ADG-ITR"]
+    trailers = ["JP-FF", "JP-R", "ITR-ASL"]
+    best_leader_auc = max(curves[a].area for a in leaders)
+    worst_leader = min(curves[a].fraction_at(1.25) for a in leaders)
+    for t in trailers:
+        assert curves[t].fraction_at(1.1) <= \
+            max(curves[a].fraction_at(1.1) for a in leaders), t
+    assert worst_leader >= 0.5
+    assert best_leader_auc >= max(curves[t].area for t in trailers) - 1e-9
+
+
+def test_shape_jp_adg_often_within_10_percent(benchmark, fig1_result):
+    curves = performance_profile(fig1_result.colors_matrix())
+    assert curves["JP-ADG"].fraction_at(1.1) >= 0.7

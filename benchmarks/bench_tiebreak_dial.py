@@ -1,0 +1,63 @@
+"""The SS IV-E parallelism-quality dial: ADG levels + tunable tie-break.
+
+The paper: with eps -> 0, JP-ADG approaches the 2d+1 quality of the
+exact degeneracy order; with eps -> infinity the composite order
+<rho_ADG, rho_X> converges to the pure order X (R, LF, LLF), trading
+quality for the tie-break's parallelism.  This bench sweeps the dial
+and reports color counts, JP wave counts, and the convergence gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_markdown
+from repro.bench.datasets import dataset
+from repro.coloring.jp import jp
+from repro.graphs.properties import degeneracy
+from repro.ordering.composed import adg_with_tiebreak, convergence_gap
+
+from .conftest import save_report
+
+TIEBREAKS = ["R", "LF", "LLF"]
+EPS_VALUES = [0.01, 0.3, 4.0, 1e6]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return dataset("s_flx")
+
+
+@pytest.mark.parametrize("tiebreak", TIEBREAKS)
+def test_bench_composite(benchmark, tiebreak, graph):
+    benchmark.pedantic(
+        lambda: adg_with_tiebreak(graph, eps=0.3, tiebreak=tiebreak, seed=0),
+        rounds=1, iterations=1)
+
+
+def test_report_tiebreak_dial(benchmark, graph):
+    d = degeneracy(graph)
+    rows = []
+    for tiebreak in TIEBREAKS:
+        for eps in EPS_VALUES:
+            o = adg_with_tiebreak(graph, eps=eps, tiebreak=tiebreak, seed=0)
+            res = jp(graph, o)
+            rows.append({
+                "tiebreak": tiebreak, "eps": eps,
+                "adg_levels": o.num_levels,
+                "colors": res.num_colors,
+                "waves": res.rounds,
+                "gap_to_pure": round(convergence_gap(graph, eps,
+                                                     tiebreak, seed=0), 3),
+            })
+    save_report("tiebreak_dial",
+                f"SS IV-E dial - ADG levels with R/LF/LLF tie-breaks on "
+                f"{graph.name} (d={d})", format_markdown(rows))
+
+    by = {(r["tiebreak"], r["eps"]): r for r in rows}
+    for tiebreak in TIEBREAKS:
+        # the composite converges to the pure order as eps explodes
+        assert by[(tiebreak, 1e6)]["gap_to_pure"] == 0.0
+        assert by[(tiebreak, 1e6)]["adg_levels"] == 1
+        # and small eps carries the ADG quality bound
+        assert by[(tiebreak, 0.01)]["colors"] <= 2.02 * d + 1

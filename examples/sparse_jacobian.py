@@ -1,0 +1,85 @@
+"""Sparse Jacobian compression via graph coloring (Coleman & More).
+
+The classic application motivating the paper's introduction: estimating
+a sparse Jacobian J of F: R^n -> R^m with finite differences costs one
+function evaluation per column — unless structurally orthogonal columns
+(no row in common) are grouped and perturbed together.  Valid groups
+are exactly the color classes of the *column intersection graph*, where
+columns are adjacent iff they share a nonzero row.
+
+This example builds the intersection graph of a banded-plus-random
+sparsity pattern, colors it with JP-ADG, and verifies that the
+compressed seed matrix recovers every Jacobian entry.
+
+Run:  python examples/sparse_jacobian.py
+"""
+
+import numpy as np
+
+from repro import from_edges, jp_adg
+from repro.coloring.verify import assert_valid_coloring
+
+
+def make_sparsity_pattern(n_rows: int, n_cols: int, bandwidth: int,
+                          extra_nnz: int, seed: int) -> np.ndarray:
+    """A banded sparsity pattern with random off-band fill-in."""
+    rng = np.random.default_rng(seed)
+    rows, cols = [], []
+    for j in range(n_cols):
+        for i in range(max(0, j - bandwidth), min(n_rows, j + bandwidth + 1)):
+            rows.append(i)
+            cols.append(j)
+    rows.extend(rng.integers(0, n_rows, size=extra_nnz).tolist())
+    cols.extend(rng.integers(0, n_cols, size=extra_nnz).tolist())
+    pattern = np.zeros((n_rows, n_cols), dtype=bool)
+    pattern[rows, cols] = True
+    return pattern
+
+
+def column_intersection_graph(pattern: np.ndarray):
+    """Columns adjacent iff they share a nonzero row."""
+    n_rows, n_cols = pattern.shape
+    us, vs = [], []
+    for i in range(n_rows):
+        nz = np.flatnonzero(pattern[i])
+        for a in range(nz.size):
+            for b in range(a + 1, nz.size):
+                us.append(int(nz[a]))
+                vs.append(int(nz[b]))
+    return from_edges(us, vs, n=n_cols, name="column-intersection")
+
+
+def main() -> None:
+    n_rows, n_cols = 400, 300
+    pattern = make_sparsity_pattern(n_rows, n_cols, bandwidth=2,
+                                    extra_nnz=150, seed=7)
+    g = column_intersection_graph(pattern)
+    print(f"pattern: {pattern.sum()} nonzeros; intersection graph: "
+          f"n={g.n} m={g.m} Delta={g.max_degree}")
+
+    res = jp_adg(g, eps=0.01, seed=0)
+    assert_valid_coloring(g, res.colors)
+    k = res.num_colors
+    print(f"JP-ADG groups the {n_cols} columns into {k} colors "
+          f"-> {k} function evaluations instead of {n_cols} "
+          f"({n_cols / k:.1f}x fewer)")
+
+    # Verify compression: simulate J with random values on the pattern and
+    # recover every entry from the k compressed products J @ seed.
+    rng = np.random.default_rng(1)
+    J = np.where(pattern, rng.normal(size=pattern.shape), 0.0)
+    seed_matrix = np.zeros((n_cols, k))
+    seed_matrix[np.arange(n_cols), res.colors - 1] = 1.0
+    compressed = J @ seed_matrix  # k evaluations' worth of information
+
+    recovered = np.zeros_like(J)
+    for j in range(n_cols):
+        rows = np.flatnonzero(pattern[:, j])
+        recovered[rows, j] = compressed[rows, res.colors[j] - 1]
+    assert np.allclose(recovered, J), "compression lost Jacobian entries"
+    print("recovered every Jacobian entry exactly from the compressed "
+          "products - the coloring is a valid column partition")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `python setup.py develop` on offline hosts
+where pip's PEP-517 editable path is unavailable (no `wheel` package).
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Analysis helpers: theoretical bounds, performance profiles, tables."""
+
+from .bounds import (
+    DEPTH_FORMULAS,
+    QUALITY_FORMULAS,
+    GraphParams,
+    adg_approx_factor,
+    adg_iteration_bound,
+    adg_m_iteration_bound,
+    depth_bound,
+    quality_bound,
+    sqrt_m_lower_bound_holds,
+    work_bound,
+)
+from .profiles import ProfileCurve, performance_profile, profile_table
+from .tables import format_markdown, format_table
+
+__all__ = [
+    "GraphParams", "quality_bound", "work_bound", "depth_bound",
+    "adg_approx_factor", "adg_iteration_bound", "adg_m_iteration_bound",
+    "sqrt_m_lower_bound_holds", "DEPTH_FORMULAS", "QUALITY_FORMULAS",
+    "ProfileCurve", "performance_profile", "profile_table",
+    "format_markdown", "format_table",
+]

@@ -1,0 +1,96 @@
+"""Dolan-More performance profiles (paper Fig. 5).
+
+A performance profile plots, for each algorithm, the cumulative
+fraction of problem instances on which the algorithm's metric (color
+count, run-time, ...) is within a factor tau of the best algorithm on
+that instance.  The curve that reaches the top-left first wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ProfileCurve:
+    """One algorithm's cumulative distribution over performance ratios."""
+
+    algorithm: str
+    taus: np.ndarray       # sorted performance ratios (>= 1)
+    fractions: np.ndarray  # fraction of instances solved within each tau
+
+    def fraction_at(self, tau: float) -> float:
+        """Fraction of instances where this algorithm is within tau of best."""
+        idx = np.searchsorted(self.taus, tau, side="right")
+        return float(self.fractions[idx - 1]) if idx > 0 else 0.0
+
+    @property
+    def area(self) -> float:
+        """Area under the step curve over tau in [1, 2] — a scalar
+        summary on a fixed grid so curves are comparable; higher is
+        better (the curve of a quality leader sits above).
+        """
+        return self.area_up_to(2.0)
+
+    def area_up_to(self, tau_max: float) -> float:
+        """Integral of fraction_at(tau) for tau in [1, tau_max]."""
+        if self.taus.size == 0 or tau_max <= 1.0:
+            return 0.0
+        knots = np.concatenate(([1.0],
+                                self.taus[(self.taus > 1.0)
+                                          & (self.taus < tau_max)],
+                                [tau_max]))
+        total = 0.0
+        for lo, hi in zip(knots[:-1], knots[1:]):
+            total += self.fraction_at(lo) * (hi - lo)
+        return float(total)
+
+
+def performance_profile(results: dict[str, dict[str, float]],
+                        ) -> dict[str, ProfileCurve]:
+    """Build profiles from ``results[algorithm][instance] = metric``.
+
+    Lower metric is better (color counts, run-times).  Instances missing
+    for an algorithm count as never-solved (ratio infinity).
+    """
+    algorithms = sorted(results)
+    instances = sorted({i for per_alg in results.values() for i in per_alg})
+    if not instances:
+        return {a: ProfileCurve(a, np.empty(0), np.empty(0))
+                for a in algorithms}
+
+    best: dict[str, float] = {}
+    for inst in instances:
+        vals = [results[a][inst] for a in algorithms if inst in results[a]]
+        if not vals:
+            continue
+        best[inst] = min(vals)
+
+    curves: dict[str, ProfileCurve] = {}
+    n_inst = len(instances)
+    for a in algorithms:
+        ratios = []
+        for inst in instances:
+            if inst in results[a] and best.get(inst, 0) > 0:
+                ratios.append(results[a][inst] / best[inst])
+            else:
+                ratios.append(np.inf)
+        r = np.sort(np.asarray(ratios, dtype=np.float64))
+        fractions = np.arange(1, n_inst + 1, dtype=np.float64) / n_inst
+        curves[a] = ProfileCurve(algorithm=a, taus=r, fractions=fractions)
+    return curves
+
+
+def profile_table(curves: dict[str, ProfileCurve],
+                  taus: list[float] = (1.0, 1.1, 1.25, 1.5, 2.0),
+                  ) -> list[dict[str, float | str]]:
+    """Rows of {algorithm, tau=...: fraction} for text rendering."""
+    rows = []
+    for name in sorted(curves):
+        row: dict[str, float | str] = {"algorithm": name}
+        for t in taus:
+            row[f"tau={t:g}"] = round(curves[name].fraction_at(t), 3)
+        rows.append(row)
+    return rows

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for benchmark and experiment reports."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(rows: Sequence[dict[str, Any]],
+                 columns: Sequence[str] | None = None,
+                 float_fmt: str = "{:.3g}") -> str:
+    """Render dict-rows as an aligned monospace table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    cells = [[fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells))
+              for i, c in enumerate(columns)]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+                     for row in cells)
+    return f"{header}\n{sep}\n{body}"
+
+
+def format_markdown(rows: Sequence[dict[str, Any]],
+                    columns: Sequence[str] | None = None,
+                    float_fmt: str = "{:.3g}") -> str:
+    """Render dict-rows as a GitHub-flavored markdown table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    header = "| " + " | ".join(columns) + " |"
+    sep = "| " + " | ".join("---" for _ in columns) + " |"
+    body = "\n".join(
+        "| " + " | ".join(fmt(r.get(c, "")) for c in columns) + " |"
+        for r in rows)
+    return f"{header}\n{sep}\n{body}"

@@ -1,0 +1,17 @@
+"""Uses of the ADG ordering beyond coloring (paper SS VII-VIII)."""
+
+from .cliques import (
+    count_maximal_cliques,
+    max_clique,
+    maximal_cliques,
+    maximal_cliques_exact_order,
+)
+from .densest import DensestResult, densest_subgraph, subgraph_density
+from .estimate import approximate_degeneracy
+
+__all__ = [
+    "maximal_cliques", "maximal_cliques_exact_order", "count_maximal_cliques",
+    "max_clique",
+    "DensestResult", "densest_subgraph", "subgraph_density",
+    "approximate_degeneracy",
+]

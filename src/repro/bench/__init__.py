@@ -1,0 +1,33 @@
+"""Benchmark harness: dataset stand-ins and per-figure experiment drivers."""
+
+from .calibration import (
+    CalibrationPoint,
+    calibrate,
+    spearman_correlation,
+    work_time_correlation,
+)
+from .datasets import (
+    ALL_SUITES,
+    EXTRA_SUITE,
+    LARGE_SUITE,
+    SMALL_SUITE,
+    DatasetSpec,
+    clear_cache,
+    dataset,
+    suite,
+)
+from .epsilon import EpsilonPoint, epsilon_sweep
+from .harness import RunRecord, SuiteResult, run_suite
+from .memory import MemoryPoint, memory_pressure
+from .scaling import ScalingPoint, strong_scaling, weak_scaling
+
+__all__ = [
+    "CalibrationPoint", "calibrate", "spearman_correlation",
+    "work_time_correlation",
+    "DatasetSpec", "dataset", "suite", "clear_cache",
+    "SMALL_SUITE", "LARGE_SUITE", "EXTRA_SUITE", "ALL_SUITES",
+    "RunRecord", "SuiteResult", "run_suite",
+    "ScalingPoint", "strong_scaling", "weak_scaling",
+    "EpsilonPoint", "epsilon_sweep",
+    "MemoryPoint", "memory_pressure",
+]

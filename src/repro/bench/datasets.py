@@ -1,0 +1,140 @@
+"""Synthetic stand-ins for the paper's real-world corpus (Table V).
+
+The paper evaluates on SNAP/KONECT/DIMACS/WebGraph downloads up to 33.8
+billion edges; those are unavailable offline (DESIGN.md substitution
+S2).  Each graph used by Figures 1-5 gets a same-family synthetic twin
+at reduced scale: scale-free (Kronecker or Chung-Lu) for social and
+hyperlink graphs, preferential attachment for collaboration and
+topology graphs, and a grid-plus-shortcuts mesh for the road network.
+Every spec records the paper's (n, m) next to its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..graphs import generators as gen
+from ..graphs.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One stand-in: how to build it and what it substitutes for."""
+
+    key: str
+    description: str
+    family: str
+    paper_n: int
+    paper_m: int
+    build: Callable[[], CSRGraph]
+
+    def make(self) -> CSRGraph:
+        """Build (or fetch from cache) the stand-in graph."""
+        if self.key not in _CACHE:
+            g = self.build()
+            _CACHE[self.key] = CSRGraph(indptr=g.indptr, indices=g.indices,
+                                        name=self.key)
+        return _CACHE[self.key]
+
+
+_CACHE: dict[str, CSRGraph] = {}
+
+
+def _spec(key: str, description: str, family: str, paper_n: int,
+          paper_m: int, build: Callable[[], CSRGraph]) -> DatasetSpec:
+    return DatasetSpec(key=key, description=description, family=family,
+                       paper_n=paper_n, paper_m=paper_m, build=build)
+
+
+# -- the "smaller graphs" suite of Fig. 1 (left block) ------------------------
+
+SMALL_SUITE: dict[str, DatasetSpec] = {s.key: s for s in [
+    _spec("h_bai", "Baidu hyperlinks", "hyperlink", 2_100_000, 17_700_000,
+          lambda: gen.kronecker(scale=13, edge_factor=8, seed=101)),
+    _spec("h_hud", "Hudong hyperlinks", "hyperlink", 2_400_000, 18_800_000,
+          lambda: gen.kronecker(scale=13, edge_factor=8, seed=102)),
+    _spec("m_wta", "Wikipedia talk (en)", "communication", 2_390_000, 5_000_000,
+          lambda: gen.chung_lu(10_000, 21_000, exponent=2.2, seed=103)),
+    _spec("s_flc", "Flickr friendships", "social", 2_300_000, 33_000_000,
+          lambda: gen.chung_lu(9_000, 129_000, exponent=2.4, seed=104)),
+    _spec("s_flx", "Flixster friendships", "social", 2_500_000, 7_900_000,
+          lambda: gen.chung_lu(12_000, 38_000, exponent=2.5, seed=105)),
+    _spec("s_lib", "Libimseti.cz ratings", "social", 220_000, 17_000_000,
+          lambda: gen.chung_lu(4_000, 309_000, exponent=2.1, seed=106)),
+    _spec("s_pok", "Pokec friendships", "social", 1_600_000, 30_000_000,
+          lambda: gen.chung_lu(8_000, 150_000, exponent=2.6, seed=107)),
+    _spec("s_you", "Youtube friendships", "social", 3_200_000, 9_300_000,
+          lambda: gen.chung_lu(14_000, 41_000, exponent=2.3, seed=108)),
+    _spec("v_ewk", "Wikipedia evolution (de)", "various", 2_100_000, 43_200_000,
+          lambda: gen.chung_lu(7_000, 144_000, exponent=2.2, seed=109)),
+    _spec("v_skt", "Internet topology (Skitter)", "topology", 1_690_000, 11_000_000,
+          lambda: gen.barabasi_albert(10_000, attach=7, seed=110)),
+]}
+
+# -- the "larger graphs" suite of Fig. 1 (right block) -------------------------
+
+LARGE_SUITE: dict[str, DatasetSpec] = {s.key: s for s in [
+    _spec("h_dsk", "SK domains hyperlinks", "hyperlink", 50_000_000, 1_940_000_000,
+          lambda: gen.kronecker(scale=15, edge_factor=16, seed=201)),
+    _spec("h_wdb", "Wikipedia/DBpedia (en)", "hyperlink", 12_000_000, 378_000_000,
+          lambda: gen.kronecker(scale=15, edge_factor=12, seed=202)),
+    _spec("h_wit", "Wikipedia (it)", "hyperlink", 1_800_000, 91_500_000,
+          lambda: gen.kronecker(scale=14, edge_factor=16, seed=203)),
+    _spec("l_act", "Actor collaboration", "collaboration", 2_100_000, 228_000_000,
+          lambda: gen.barabasi_albert(24_000, attach=24, seed=204)),
+    _spec("m_stk", "Stack Overflow interactions", "communication",
+          2_600_000, 63_400_000,
+          lambda: gen.chung_lu(20_000, 487_000, exponent=2.4, seed=205)),
+    _spec("s_frs", "Friendster friendships", "social", 64_000_000, 2_100_000_000,
+          lambda: gen.chung_lu(32_000, 1_050_000, exponent=2.8, seed=206)),
+    _spec("s_gmc", "Kronecker power-law", "synthetic", 1_048_576, 33_554_432,
+          lambda: gen.kronecker(scale=14, edge_factor=16, seed=207)),
+    _spec("s_gmc2", "Kronecker power-law (denser)", "synthetic",
+          1_048_576, 67_108_864,
+          lambda: gen.kronecker(scale=14, edge_factor=24, seed=208)),
+    _spec("s_ork", "Orkut friendships", "social", 3_100_000, 117_000_000,
+          lambda: gen.chung_lu(16_000, 604_000, exponent=2.7, seed=209)),
+    _spec("v_wbb", "Webbase crawl", "hyperlink", 118_000_000, 1_010_000_000,
+          lambda: gen.kronecker(scale=15, edge_factor=8, seed=210)),
+]}
+
+# -- extra graphs for Fig. 3 and structural tests ------------------------------
+
+EXTRA_SUITE: dict[str, DatasetSpec] = {s.key: s for s in [
+    _spec("v_usa", "USA road network", "road", 23_900_000, 58_300_000,
+          lambda: gen.road_network(16_384, shortcut_fraction=0.005, seed=301)),
+    _spec("l_dbl", "DBLP co-authorship", "collaboration", 1_820_000, 13_800_000,
+          lambda: gen.barabasi_albert(12_000, attach=8, seed=302)),
+    _spec("erdos", "Uniform random graph", "random", 0, 0,
+          lambda: gen.gnm_random(12_000, 96_000, seed=303)),
+]}
+
+ALL_SUITES: dict[str, DatasetSpec] = {**SMALL_SUITE, **LARGE_SUITE,
+                                      **EXTRA_SUITE}
+
+
+def dataset(key: str) -> CSRGraph:
+    """Build the named stand-in graph."""
+    try:
+        return ALL_SUITES[key].make()
+    except KeyError:
+        raise ValueError(f"unknown dataset {key!r}; "
+                         f"options: {sorted(ALL_SUITES)}") from None
+
+
+def suite(which: str = "small") -> dict[str, CSRGraph]:
+    """Build a whole suite: 'small', 'large', 'extra', or 'all'."""
+    table = {"small": SMALL_SUITE, "large": LARGE_SUITE,
+             "extra": EXTRA_SUITE, "all": ALL_SUITES}
+    try:
+        specs = table[which]
+    except KeyError:
+        raise ValueError(f"unknown suite {which!r}; "
+                         f"options: {sorted(table)}") from None
+    return {key: spec.make() for key, spec in specs.items()}
+
+
+def clear_cache() -> None:
+    """Drop all cached graphs (tests use this to bound memory)."""
+    _CACHE.clear()

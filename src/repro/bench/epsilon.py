@@ -1,0 +1,47 @@
+"""Epsilon sweep (paper Fig. 3): runtime vs quality as eps grows.
+
+Larger eps lets ADG remove bigger batches (fewer iterations, more
+parallelism, shallower depth) at the price of a looser approximation of
+the degeneracy order (slightly more colors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..coloring.dec_adg_itr import dec_adg_itr
+from ..coloring.jp import jp_adg
+from ..graphs.csr import CSRGraph
+from ..machine.brent import simulate
+from ..ordering.adg import adg_ordering
+
+
+@dataclass(frozen=True)
+class EpsilonPoint:
+    """One (algorithm, graph, eps) measurement."""
+
+    algorithm: str
+    graph: str
+    eps: float
+    colors: int
+    work: int
+    depth: int
+    sim_time_32: float
+    adg_iterations: int
+
+
+def epsilon_sweep(g: CSRGraph, eps_values: list[float] | None = None,
+                  seed: int = 0) -> list[EpsilonPoint]:
+    """Run JP-ADG and DEC-ADG-ITR across an eps sweep on one graph."""
+    eps_values = eps_values or [0.01, 0.03, 0.1, 0.3, 1.0]
+    points: list[EpsilonPoint] = []
+    for eps in eps_values:
+        iters = adg_ordering(g, eps=eps, seed=seed).num_levels
+        for name, fn in (("JP-ADG", jp_adg), ("DEC-ADG-ITR", dec_adg_itr)):
+            res = fn(g, eps=eps, seed=seed)
+            cost = res.combined_cost()
+            points.append(EpsilonPoint(
+                algorithm=name, graph=g.name, eps=eps,
+                colors=res.num_colors, work=cost.work, depth=cost.depth,
+                sim_time_32=simulate(cost, 32).time, adg_iterations=iters))
+    return points

@@ -1,0 +1,127 @@
+"""The experiment harness: run algorithm suites over graph suites.
+
+Produces the rows behind the paper's Fig. 1 (run-times split into
+reordering + coloring, and color counts relative to JP-R) and Table III
+(measured vs bound).  All rows are plain dicts so pytest-benchmark,
+tests, and the report writer can consume them alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.bounds import GraphParams, quality_bound
+from ..coloring.registry import ALGORITHMS, color
+from ..coloring.result import ColoringResult
+from ..coloring.verify import assert_valid_coloring
+from ..graphs.csr import CSRGraph
+from ..graphs.properties import degeneracy
+from ..machine.brent import simulate
+
+
+@dataclass
+class RunRecord:
+    """One (algorithm, graph) execution with derived metrics."""
+
+    algorithm: str
+    graph: str
+    n: int
+    m: int
+    degeneracy: int
+    colors: int
+    quality_bound: int
+    work: int
+    depth: int
+    reorder_work: int
+    coloring_work: int
+    rounds: int
+    conflicts: int
+    wall_seconds: float
+    reorder_wall_seconds: float
+    sim_time_32: float
+
+    @classmethod
+    def from_result(cls, g: CSRGraph, d: int, res: ColoringResult,
+                    eps: float) -> "RunRecord":
+        params = GraphParams(n=g.n, m=g.m, max_degree=g.max_degree,
+                             degeneracy=d)
+        return cls(
+            algorithm=res.algorithm, graph=g.name, n=g.n, m=g.m,
+            degeneracy=d, colors=res.num_colors,
+            quality_bound=quality_bound(res.algorithm, params, eps),
+            work=res.total_work, depth=res.total_depth,
+            reorder_work=res.reorder_cost.work if res.reorder_cost else 0,
+            coloring_work=res.cost.work,
+            rounds=res.rounds, conflicts=res.conflicts_resolved,
+            wall_seconds=res.total_wall_seconds,
+            reorder_wall_seconds=res.reorder_wall_seconds,
+            sim_time_32=simulate(res.combined_cost(), 32).time,
+        )
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class SuiteResult:
+    """All records of one harness invocation, with lookup helpers."""
+
+    records: list[RunRecord] = field(default_factory=list)
+
+    def get(self, algorithm: str, graph: str) -> RunRecord:
+        for r in self.records:
+            if r.algorithm == algorithm and r.graph == graph:
+                return r
+        raise KeyError(f"no record for ({algorithm}, {graph})")
+
+    def colors_matrix(self) -> dict[str, dict[str, float]]:
+        """results[algorithm][graph] = color count (profile input)."""
+        out: dict[str, dict[str, float]] = {}
+        for r in self.records:
+            out.setdefault(r.algorithm, {})[r.graph] = float(r.colors)
+        return out
+
+    def relative_quality(self, baseline: str = "JP-R") -> list[dict]:
+        """Color counts normalized to a baseline algorithm (Fig. 1 style)."""
+        base: dict[str, int] = {r.graph: r.colors for r in self.records
+                                if r.algorithm == baseline}
+        rows = []
+        for r in self.records:
+            if r.graph in base and base[r.graph] > 0:
+                rows.append({"algorithm": r.algorithm, "graph": r.graph,
+                             "colors": r.colors,
+                             "relative": r.colors / base[r.graph]})
+        return rows
+
+    def as_rows(self) -> list[dict]:
+        return [r.as_dict() for r in self.records]
+
+
+def run_suite(graphs: dict[str, CSRGraph],
+              algorithms: list[str] | None = None,
+              eps: float = 0.01, seed: int = 0,
+              validate: bool = True,
+              algorithm_kwargs: dict[str, dict] | None = None) -> SuiteResult:
+    """Run each algorithm on each graph; returns all records.
+
+    ``algorithm_kwargs`` maps algorithm name -> extra keyword arguments
+    (e.g. ``{"JP-ADG": {"eps": 0.1}}``).  ADG-based algorithms receive
+    ``eps`` unless overridden.
+    """
+    if algorithms is None:
+        algorithms = sorted(ALGORITHMS)
+    algorithm_kwargs = algorithm_kwargs or {}
+    out = SuiteResult()
+    for gname, g in graphs.items():
+        d = degeneracy(g)
+        for alg in algorithms:
+            kwargs = dict(algorithm_kwargs.get(alg, {}))
+            kwargs.setdefault("seed", seed)
+            if alg in ("JP-ADG", "DEC-ADG-ITR"):
+                kwargs.setdefault("eps", eps)
+            res = color(alg, g, **kwargs)
+            if validate:
+                assert_valid_coloring(g, res.colors)
+            eff_eps = kwargs.get("eps", eps)
+            out.records.append(RunRecord.from_result(g, d, res, eff_eps))
+    return out

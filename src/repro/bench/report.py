@@ -1,0 +1,92 @@
+"""Render experiment outputs into the text blocks EXPERIMENTS.md records."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.profiles import performance_profile, profile_table
+from ..analysis.tables import format_markdown
+from .epsilon import EpsilonPoint
+from .harness import SuiteResult
+from .memory import MemoryPoint
+from .scaling import ScalingPoint
+
+
+def fig1_runtime_report(result: SuiteResult) -> str:
+    """Fig. 1 run-times: reorder + coloring work and simulated time."""
+    rows = []
+    for r in result.records:
+        rows.append({
+            "graph": r.graph, "algorithm": r.algorithm,
+            "reorder_work": r.reorder_work, "coloring_work": r.coloring_work,
+            "depth": r.depth, "T(32)": round(r.sim_time_32, 1),
+            "wall_s": round(r.wall_seconds, 4),
+        })
+    rows.sort(key=lambda x: (x["graph"], x["T(32)"]))
+    return format_markdown(rows)
+
+
+def fig1_quality_report(result: SuiteResult, baseline: str = "JP-R") -> str:
+    """Fig. 1 quality: color counts relative to JP-R."""
+    rows = result.relative_quality(baseline)
+    for row in rows:
+        row["relative"] = round(row["relative"], 3)
+    rows.sort(key=lambda x: (x["graph"], x["relative"]))
+    return format_markdown(rows)
+
+
+def table3_report(result: SuiteResult) -> str:
+    """Table III: measured colors vs the proven bound, work, depth."""
+    rows = []
+    for r in result.records:
+        rows.append({
+            "algorithm": r.algorithm, "graph": r.graph, "d": r.degeneracy,
+            "colors": r.colors, "bound": r.quality_bound,
+            "within_bound": r.colors <= r.quality_bound,
+            "work": r.work, "work/(n+m)": round(r.work / (r.n + 2 * r.m), 2),
+            "depth": r.depth,
+        })
+    rows.sort(key=lambda x: (x["graph"], x["colors"]))
+    return format_markdown(rows)
+
+
+def scaling_report(points: Sequence[ScalingPoint]) -> str:
+    """Fig. 2: simulated time / speedup per processor count."""
+    rows = [{
+        "algorithm": p.algorithm, "graph": p.graph, "P": p.processors,
+        "T(P)": round(p.sim_time, 1), "speedup": round(p.speedup, 2),
+        "colors": p.colors,
+    } for p in points]
+    return format_markdown(rows)
+
+
+def epsilon_report(points: Sequence[EpsilonPoint]) -> str:
+    """Fig. 3: eps vs quality and simulated runtime."""
+    rows = [{
+        "algorithm": p.algorithm, "graph": p.graph, "eps": p.eps,
+        "colors": p.colors, "adg_iters": p.adg_iterations,
+        "T(32)": round(p.sim_time_32, 1),
+    } for p in points]
+    return format_markdown(rows)
+
+
+def memory_report(points: Sequence[MemoryPoint]) -> str:
+    """Fig. 4: locality proxies per algorithm."""
+    rows = [{
+        "algorithm": p.algorithm, "graph": p.graph,
+        "miss_proxy": round(p.random_fraction, 3),
+        "idle_proxy": round(p.idle_fraction, 3),
+        "touches": p.total_touches, "colors": p.colors,
+    } for p in points]
+    return format_markdown(rows)
+
+
+def fig5_profile_report(result: SuiteResult) -> str:
+    """Fig. 5: the Dolan-More profile of coloring quality."""
+    curves = performance_profile(result.colors_matrix())
+    rows = profile_table(curves)
+    for name in sorted(curves):
+        for row in rows:
+            if row["algorithm"] == name:
+                row["auc"] = round(curves[name].area, 3)
+    return format_markdown(rows)

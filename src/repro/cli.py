@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+color   Color a graph file (or a generated graph) with any algorithm.
+order   Compute a vertex ordering and report its quality metrics.
+stats   Structural statistics of a graph.
+suite   Run the Fig.-1-style harness over a dataset suite.
+
+Graphs are read from SNAP edge lists, METIS files, or NPZ (by
+extension), or generated on the fly with ``--gen``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .analysis.tables import format_table
+from .bench.harness import run_suite
+from .coloring.registry import ALGORITHMS, color
+from .coloring.verify import assert_valid_coloring
+from .graphs import generators
+from .graphs.csr import CSRGraph
+from .graphs.io import load_npz, read_edge_list, read_metis
+from .graphs.properties import degeneracy, stats
+from .ordering.adg import approximation_quality
+from .ordering.registry import ORDERINGS, get_ordering
+
+GENERATORS = {
+    "kronecker": lambda a, seed: generators.kronecker(
+        scale=int(a[0]), edge_factor=int(a[1]) if len(a) > 1 else 16,
+        seed=seed),
+    "gnm": lambda a, seed: generators.gnm_random(int(a[0]), int(a[1]),
+                                                 seed=seed),
+    "chunglu": lambda a, seed: generators.chung_lu(int(a[0]), int(a[1]),
+                                                   seed=seed),
+    "grid": lambda a, seed: generators.grid_2d(int(a[0]), int(a[1])),
+    "ba": lambda a, seed: generators.barabasi_albert(int(a[0]), int(a[1]),
+                                                     seed=seed),
+}
+
+
+def load_graph(args: argparse.Namespace) -> CSRGraph:
+    """Resolve --graph / --gen into a CSRGraph."""
+    if args.gen:
+        name, *params = args.gen.split(":")
+        if name not in GENERATORS:
+            raise SystemExit(f"unknown generator {name!r}; "
+                             f"options: {sorted(GENERATORS)}")
+        return GENERATORS[name](params[0].split(",") if params else [],
+                                args.seed)
+    if not args.graph:
+        raise SystemExit("provide --graph FILE or --gen SPEC")
+    path = args.graph
+    if path.endswith(".npz"):
+        return load_npz(path)
+    if path.endswith(".graph") or path.endswith(".metis"):
+        return read_metis(path)
+    return read_edge_list(path)
+
+
+def cmd_color(args: argparse.Namespace) -> int:
+    g = load_graph(args)
+    kwargs: dict = {"seed": args.seed}
+    if args.algorithm in ("JP-ADG", "DEC-ADG-ITR"):
+        kwargs["eps"] = args.eps
+    res = color(args.algorithm, g, **kwargs)
+    assert_valid_coloring(g, res.colors)
+    summary = res.summary()
+    summary["graph"] = g.name
+    summary["degeneracy"] = degeneracy(g)
+    if args.json:
+        print(json.dumps(summary))
+    else:
+        print(format_table([summary]))
+    if args.output:
+        import numpy as np
+        np.savetxt(args.output, res.colors, fmt="%d")
+        print(f"colors written to {args.output}", file=sys.stderr)
+    return 0
+
+
+def cmd_order(args: argparse.Namespace) -> int:
+    g = load_graph(args)
+    kwargs: dict = {"seed": args.seed}
+    if args.ordering in ("ADG", "ADG-M"):
+        kwargs["eps"] = args.eps
+    o = get_ordering(args.ordering, g, **kwargs)
+    d = degeneracy(g)
+    row = {
+        "ordering": o.name, "graph": g.name, "n": g.n, "m": g.m,
+        "degeneracy": d, "levels": o.num_levels,
+        "work": o.cost.work, "depth": o.cost.depth,
+        "approx_factor": (round(approximation_quality(g, o) / max(d, 1), 3)
+                          if o.levels is not None else "n/a"),
+    }
+    print(json.dumps(row) if args.json else format_table([row]))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    g = load_graph(args)
+    s = stats(g)
+    row = {"graph": s.name, "n": s.n, "m": s.m, "max_degree": s.max_degree,
+           "min_degree": s.min_degree,
+           "avg_degree": round(s.avg_degree, 3),
+           "degeneracy": s.degeneracy,
+           "d_over_sqrt_m": round(s.degeneracy_to_sqrt_m, 4)}
+    print(json.dumps(row) if args.json else format_table([row]))
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Regenerate every paper table/figure into --outdir (no pytest)."""
+    import os
+
+    from .analysis.tables import format_markdown
+    from .bench.datasets import dataset, suite
+    from .bench.epsilon import epsilon_sweep
+    from .bench.memory import memory_pressure
+    from .bench.report import (
+        epsilon_report,
+        fig1_quality_report,
+        fig1_runtime_report,
+        fig5_profile_report,
+        memory_report,
+        scaling_report,
+        table3_report,
+    )
+    from .bench.scaling import strong_scaling, weak_scaling
+    from .coloring.registry import FIGURE1_SET
+
+    outdir = args.outdir
+    os.makedirs(outdir, exist_ok=True)
+
+    def emit(name: str, title: str, body: str) -> None:
+        path = os.path.join(outdir, f"{name}.md")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(f"# {title}\n\n{body}\n")
+        print(f"wrote {path}", file=sys.stderr)
+
+    print("running the Fig. 1 suite ...", file=sys.stderr)
+    result = run_suite(suite("small"), algorithms=FIGURE1_SET,
+                       eps=args.eps, seed=args.seed)
+    emit("fig1_runtime_small", "Fig. 1 run-times (smaller graphs)",
+         fig1_runtime_report(result))
+    emit("fig1_quality_small", "Fig. 1 quality (smaller graphs)",
+         fig1_quality_report(result))
+    emit("table3_algorithms", "Table III measured",
+         table3_report(result))
+    emit("fig5_quality_profile", "Fig. 5 quality profile",
+         fig5_profile_report(result))
+
+    print("running Fig. 2 scaling ...", file=sys.stderr)
+    strong = strong_scaling(dataset("h_bai"),
+                            ["JP-ADG", "JP-R", "JP-LLF", "JP-SL", "ITR",
+                             "DEC-ADG-ITR"], seed=args.seed, eps=args.eps)
+    emit("fig2_strong_scaling", "Fig. 2 strong scaling",
+         scaling_report(strong))
+    weak = weak_scaling(["JP-ADG", "JP-R", "ITR"], scale=12,
+                        seed=args.seed, eps=args.eps)
+    emit("fig2_weak_scaling", "Fig. 2 weak scaling", scaling_report(weak))
+
+    print("running Fig. 3 epsilon sweep ...", file=sys.stderr)
+    eps_points = epsilon_sweep(dataset("h_bai"), seed=args.seed)
+    eps_points += epsilon_sweep(dataset("v_usa"), seed=args.seed)
+    emit("fig3_epsilon", "Fig. 3 epsilon sweep", epsilon_report(eps_points))
+
+    print("running Fig. 4 memory pressure ...", file=sys.stderr)
+    mem_points = memory_pressure(
+        dataset("h_bai"),
+        ["ITR", "ITR-ASL", "DEC-ADG-ITR", "JP-ADG", "JP-R", "JP-SL"],
+        seed=args.seed, eps=args.eps)
+    emit("fig4_memory", "Fig. 4 memory pressure", memory_report(mem_points))
+
+    summary = [{"experiment": name} for name in
+               ["fig1_runtime_small", "fig1_quality_small",
+                "table3_algorithms", "fig5_quality_profile",
+                "fig2_strong_scaling", "fig2_weak_scaling",
+                "fig3_epsilon", "fig4_memory"]]
+    emit("index", "Regenerated experiments", format_markdown(summary))
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from .bench.datasets import suite
+
+    graphs = suite(args.suite)
+    algorithms = args.algorithms.split(",") if args.algorithms else None
+    result = run_suite(graphs, algorithms=algorithms, eps=args.eps,
+                       seed=args.seed)
+    rows = result.as_rows()
+    if args.json:
+        print(json.dumps(rows))
+    else:
+        cols = ["graph", "algorithm", "colors", "quality_bound", "work",
+                "depth", "sim_time_32"]
+        print(format_table(rows, columns=cols))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel graph coloring with guarantees "
+                    "(Besta et al., SC 2020 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--graph", help="SNAP/METIS/NPZ graph file")
+        p.add_argument("--gen", help="generator spec, e.g. kronecker:12,8 "
+                                     "| gnm:1000,5000 | grid:30,30")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--eps", type=float, default=0.01)
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+
+    p_color = sub.add_parser("color", help="run a coloring algorithm")
+    common(p_color)
+    p_color.add_argument("--algorithm", default="JP-ADG",
+                         choices=sorted(ALGORITHMS))
+    p_color.add_argument("--output", help="write per-vertex colors here")
+    p_color.set_defaults(fn=cmd_color)
+
+    p_order = sub.add_parser("order", help="compute a vertex ordering")
+    common(p_order)
+    p_order.add_argument("--ordering", default="ADG",
+                         choices=sorted(ORDERINGS))
+    p_order.set_defaults(fn=cmd_order)
+
+    p_stats = sub.add_parser("stats", help="graph statistics")
+    common(p_stats)
+    p_stats.set_defaults(fn=cmd_stats)
+
+    p_suite = sub.add_parser("suite", help="run the harness over a suite")
+    common(p_suite)
+    p_suite.add_argument("--suite", default="small",
+                         choices=["small", "large", "extra", "all"])
+    p_suite.add_argument("--algorithms",
+                         help="comma-separated algorithm names")
+    p_suite.set_defaults(fn=cmd_suite)
+
+    p_repro = sub.add_parser(
+        "reproduce", help="regenerate every paper table/figure")
+    common(p_repro)
+    p_repro.add_argument("--outdir", default="results",
+                         help="directory for the regenerated tables")
+    p_repro.set_defaults(fn=cmd_reproduce)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

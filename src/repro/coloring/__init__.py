@@ -1,0 +1,63 @@
+"""Graph coloring algorithms: JP family, speculative family, greedy."""
+
+from .dec_adg import dec_adg, dec_adg_m
+from .dec_adg_itr import dec_adg_itr
+from .distance2 import (
+    greedy_distance2,
+    is_valid_distance2,
+    jp_distance2,
+    square_graph,
+)
+from .exact import chromatic_number, optimal_coloring
+from .gm import gm_coloring
+from .greedy import greedy, greedy_by_name, greedy_color_sequence
+from .jp import (
+    jp,
+    jp_adg,
+    jp_adg_fused,
+    jp_adg_m,
+    jp_by_name,
+    jp_color,
+    longest_dag_path,
+)
+from .mis import luby_coloring, luby_mis
+from .recolor import class_block_sequence, iterated_greedy, recolor_pass
+from .reduction import color_reduction
+from .registry import (
+    ALGORITHMS,
+    FIGURE1_SET,
+    JP_CLASS,
+    OUR_ALGORITHMS,
+    SC_CLASS,
+    color,
+)
+from .result import ColoringResult
+from .simcol import sim_col
+from .speculative import itr, itr_asl, itrb
+from .verify import (
+    InvalidColoringError,
+    assert_valid_coloring,
+    color_histogram,
+    conflicting_edges,
+    distinct_colors,
+    is_valid_coloring,
+    num_colors,
+    quality_vs_degeneracy,
+)
+
+__all__ = [
+    "ColoringResult",
+    "jp", "jp_color", "jp_by_name", "jp_adg", "jp_adg_m", "jp_adg_fused",
+    "longest_dag_path", "chromatic_number", "optimal_coloring",
+    "class_block_sequence", "iterated_greedy", "recolor_pass",
+    "greedy", "greedy_by_name", "greedy_color_sequence",
+    "itr", "itr_asl", "itrb", "sim_col", "dec_adg", "dec_adg_m", "dec_adg_itr",
+    "luby_coloring", "luby_mis", "gm_coloring",
+    "greedy_distance2", "is_valid_distance2", "jp_distance2", "square_graph",
+    "color_reduction",
+    "ALGORITHMS", "FIGURE1_SET", "JP_CLASS", "OUR_ALGORITHMS", "SC_CLASS",
+    "color",
+    "InvalidColoringError", "assert_valid_coloring", "color_histogram",
+    "conflicting_edges", "distinct_colors", "is_valid_coloring", "num_colors",
+    "quality_vs_degeneracy",
+]

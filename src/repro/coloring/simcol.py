@@ -1,0 +1,102 @@
+"""SIM-COL: randomized coloring of one low-degree partition (paper Alg. 5).
+
+SIM-COL colors an (arbitrary) graph with (1+mu)*Delta colors by repeated
+random trials: every active vertex draws a color uniformly from
+{1, ..., (1+mu) * deg_l(v)}; a vertex keeps its color unless an active
+neighbor drew the same one or the color is forbidden by the bitmap B_v
+(colors taken by neighbors in already-colored partitions).  Each round
+deactivates a constant fraction of vertices in expectation (Claim 1),
+so the loop terminates in O(log n) rounds w.h.p. (Lemma 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..machine.costmodel import CostModel, log2_ceil
+from ..machine.memmodel import MemoryModel
+from ..primitives.kernels import segment_any
+
+
+def sim_col(
+    part: CSRGraph,
+    degl: np.ndarray,
+    forbidden: np.ndarray,
+    mu: float,
+    rng: np.random.Generator,
+    cost: CostModel | None = None,
+    mem: MemoryModel | None = None,
+    max_rounds: int | None = None,
+) -> tuple[np.ndarray, int]:
+    """Color one partition; returns (1-based local colors, rounds used).
+
+    Parameters
+    ----------
+    part:
+        The partition as a *local* CSR graph (vertices 0..|R|-1).
+    degl:
+        deg_l(v) per local vertex: its neighbor count within this
+        partition plus all already-colored partitions.  The random color
+        range of v is {1, ..., max(1, ceil((1+mu) * degl[v]))}.
+    forbidden:
+        Boolean matrix (|R| x width); ``forbidden[v, c]`` means color c
+        is taken by a neighbor of v in a higher partition.  Mutated in
+        place as vertices commit (it doubles as the B_v bitmaps).
+    """
+    if mu <= 0:
+        raise ValueError(f"mu must be > 0, got {mu}")
+    n = part.n
+    colors = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return colors, 0
+    degl = np.asarray(degl, dtype=np.int64)
+    cap = np.maximum(1, np.ceil((1.0 + mu) * degl)).astype(np.int64)
+    width = forbidden.shape[1]
+    if int(cap.max()) >= width:
+        raise ValueError(f"forbidden bitmap width {width} too small for "
+                         f"color range {int(cap.max())}")
+    active = np.arange(n, dtype=np.int64)
+    rounds = 0
+    limit = max_rounds if max_rounds is not None else 64 * (n.bit_length() + 2)
+
+    while active.size:
+        rounds += 1
+        if rounds > limit:
+            raise RuntimeError("SIM-COL failed to converge "
+                               f"({active.size} vertices left)")
+        # Part 1: draw colors uniformly at random.
+        draw = rng.integers(1, cap[active] + 1, dtype=np.int64)
+        colors[active] = draw
+        if cost is not None:
+            cost.parallel_for(active.size)
+        if mem is not None:
+            mem.stream(active.size, "simcol")
+
+        # Part 2: reject on equality with an active neighbor or on B_v.
+        seg, nbrs = part.batch_neighbors(active)
+        still_active = np.zeros(n, dtype=bool)
+        still_active[active] = True
+        same = (colors[nbrs] == colors[active[seg]]) & still_active[nbrs]
+        clash = segment_any(same, seg, active.size)
+        clash |= forbidden[active, colors[active]]
+        if cost is not None:
+            md = int(np.bincount(seg, minlength=active.size).max()) \
+                if nbrs.size else 0
+            cost.round(nbrs.size + active.size, log2_ceil(max(md, 1)) + 1)
+        if mem is not None:
+            mem.gather(nbrs.size, "simcol")
+        colors[active[clash]] = 0
+
+        # Part 3: record the newly fixed colors in the neighbors' bitmaps.
+        fixed_nbr = (colors[nbrs] > 0) & still_active[nbrs]
+        upd_v = active[seg[fixed_nbr]]
+        upd_c = colors[nbrs[fixed_nbr]]
+        forbidden[upd_v, upd_c] = True
+        if cost is not None:
+            cost.scatter_decrement(int(fixed_nbr.sum()))
+        if mem is not None:
+            mem.gather(int(fixed_nbr.sum()), "simcol")
+
+        active = active[clash]
+    return colors, rounds

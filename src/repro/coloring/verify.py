@@ -1,0 +1,78 @@
+"""Coloring validity and quality checks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..graphs.properties import degeneracy
+
+
+class InvalidColoringError(AssertionError):
+    """Raised when a coloring violates an edge or completeness constraint."""
+
+
+def conflicting_edges(g: CSRGraph, colors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """All (u, v) with u < v, both colored, and equal colors."""
+    colors = np.asarray(colors)
+    u, v = g.undirected_edges()
+    both = (colors[u] > 0) & (colors[v] > 0)
+    bad = both & (colors[u] == colors[v])
+    return u[bad], v[bad]
+
+
+def is_valid_coloring(g: CSRGraph, colors: np.ndarray,
+                      allow_uncolored: bool = False) -> bool:
+    """True iff no edge is monochromatic and (unless allowed) all colored."""
+    colors = np.asarray(colors)
+    if colors.size != g.n:
+        return False
+    if not allow_uncolored and np.any(colors <= 0):
+        return False
+    bu, _ = conflicting_edges(g, colors)
+    return bu.size == 0
+
+
+def assert_valid_coloring(g: CSRGraph, colors: np.ndarray) -> None:
+    """Raise InvalidColoringError with a diagnostic when invalid."""
+    colors = np.asarray(colors)
+    if colors.size != g.n:
+        raise InvalidColoringError(
+            f"colors has length {colors.size}, graph has {g.n} vertices")
+    uncolored = np.flatnonzero(colors <= 0)
+    if uncolored.size:
+        raise InvalidColoringError(
+            f"{uncolored.size} uncolored vertices, first: {uncolored[:5]}")
+    bu, bv = conflicting_edges(g, colors)
+    if bu.size:
+        raise InvalidColoringError(
+            f"{bu.size} conflicting edges, first: "
+            f"({int(bu[0])}, {int(bv[0])}) both color {int(colors[bu[0]])}")
+
+
+def num_colors(colors: np.ndarray) -> int:
+    """Largest color id used (colors are 1-based and dense in practice)."""
+    colors = np.asarray(colors)
+    return int(colors.max()) if colors.size else 0
+
+
+def distinct_colors(colors: np.ndarray) -> int:
+    """Number of distinct positive colors (equals num_colors for greedy)."""
+    colors = np.asarray(colors)
+    pos = colors[colors > 0]
+    return int(np.unique(pos).size)
+
+
+def quality_vs_degeneracy(g: CSRGraph, colors: np.ndarray) -> float:
+    """#colors / (d + 1): 1.0 means degeneracy-optimal greedy quality."""
+    d = degeneracy(g)
+    used = num_colors(colors)
+    return used / (d + 1) if d >= 0 else float("nan")
+
+
+def color_histogram(colors: np.ndarray) -> np.ndarray:
+    """Count of vertices per color (index 0 = uncolored)."""
+    colors = np.asarray(colors, dtype=np.int64)
+    if colors.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(np.maximum(colors, 0))

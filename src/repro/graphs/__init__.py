@@ -1,0 +1,81 @@
+"""Graph substrate: CSR storage, builders, generators, I/O, properties."""
+
+from .analytics import (
+    average_local_clustering,
+    bfs_distances,
+    degree_assortativity,
+    degree_histogram,
+    effective_diameter,
+    global_clustering,
+    triangle_count,
+    triangles_per_vertex,
+)
+from .builders import (
+    empty_graph,
+    from_adjacency,
+    from_edge_list,
+    from_edges,
+    from_networkx,
+    relabel,
+    to_networkx,
+)
+from .csr import CSRGraph
+from .generators import (
+    barabasi_albert,
+    chung_lu,
+    complete_graph,
+    gnm_random,
+    grid_2d,
+    kronecker,
+    path_graph,
+    planted_kcore,
+    random_bipartite,
+    random_tree,
+    ring,
+    road_network,
+    star,
+)
+from .io import (
+    load_npz,
+    read_edge_list,
+    read_metis,
+    save_npz,
+    write_edge_list,
+    write_metis,
+)
+from .properties import (
+    GraphStats,
+    PeelResult,
+    connected_components,
+    coreness,
+    degeneracy,
+    is_bipartite,
+    num_components,
+    peel_degeneracy,
+    stats,
+)
+from .subgraph import InducedSubgraph, degrees_within, edges_within, induced_subgraph
+from .transforms import (
+    largest_component,
+    relabel_bfs,
+    relabel_by_degree,
+    relabel_random,
+)
+
+__all__ = [
+    "CSRGraph",
+    "average_local_clustering", "bfs_distances", "degree_assortativity",
+    "degree_histogram", "effective_diameter", "global_clustering",
+    "triangle_count", "triangles_per_vertex",
+    "largest_component", "relabel_bfs", "relabel_by_degree", "relabel_random",
+    "empty_graph", "from_adjacency", "from_edge_list", "from_edges",
+    "from_networkx", "relabel", "to_networkx",
+    "barabasi_albert", "chung_lu", "complete_graph", "gnm_random", "grid_2d",
+    "kronecker", "path_graph", "planted_kcore", "random_bipartite",
+    "random_tree", "ring", "road_network", "star",
+    "load_npz", "read_edge_list", "read_metis", "save_npz",
+    "write_edge_list", "write_metis",
+    "GraphStats", "PeelResult", "connected_components", "coreness",
+    "degeneracy", "is_bipartite", "num_components", "peel_degeneracy", "stats",
+    "InducedSubgraph", "degrees_within", "edges_within", "induced_subgraph",
+]

@@ -1,0 +1,107 @@
+"""Constructors that normalize raw edge data into valid :class:`CSRGraph`s.
+
+All builders symmetrize, drop self-loops, and deduplicate parallel
+edges, so every graph in the library satisfies the CSR invariants of
+``CSRGraph.validate`` by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .csr import CSRGraph
+
+
+def from_edges(u: np.ndarray | Sequence[int], v: np.ndarray | Sequence[int],
+               n: int | None = None, name: str = "graph") -> CSRGraph:
+    """Build a graph from parallel endpoint arrays (any direction, dups OK)."""
+    u = np.asarray(u, dtype=np.int64).ravel()
+    v = np.asarray(v, dtype=np.int64).ravel()
+    if u.shape != v.shape:
+        raise ValueError("endpoint arrays must have the same length")
+    if u.size and (u.min() < 0 or v.min() < 0):
+        raise ValueError("vertex ids must be non-negative")
+    if n is None:
+        n = int(max(u.max(initial=-1), v.max(initial=-1))) + 1 if u.size else 0
+    elif u.size and max(int(u.max()), int(v.max())) >= n:
+        raise ValueError("vertex id exceeds n")
+
+    keep = u != v  # drop self-loops
+    u, v = u[keep], v[keep]
+    # Symmetrize then dedupe on the (src, dst) arc key.
+    src = np.concatenate([u, v])
+    dst = np.concatenate([v, u])
+    key = src * np.int64(n if n > 0 else 1) + dst
+    order = np.argsort(key, kind="stable")
+    key = key[order]
+    uniq = np.ones(key.size, dtype=bool)
+    uniq[1:] = key[1:] != key[:-1]
+    src = src[order][uniq]
+    dst = dst[order][uniq]
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+    return CSRGraph(indptr=indptr, indices=dst.astype(np.int64), name=name)
+
+
+def from_edge_list(edges: Iterable[tuple[int, int]], n: int | None = None,
+                   name: str = "graph") -> CSRGraph:
+    """Build a graph from an iterable of (u, v) pairs."""
+    pairs = np.asarray(list(edges), dtype=np.int64)
+    if pairs.size == 0:
+        return empty_graph(n or 0, name=name)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError("edges must be (u, v) pairs")
+    return from_edges(pairs[:, 0], pairs[:, 1], n=n, name=name)
+
+
+def from_adjacency(adj: Sequence[Sequence[int]], name: str = "graph") -> CSRGraph:
+    """Build a graph from an adjacency-list-of-lists (symmetrized)."""
+    us: list[int] = []
+    vs: list[int] = []
+    for u, nbrs in enumerate(adj):
+        for v in nbrs:
+            us.append(u)
+            vs.append(int(v))
+    return from_edges(np.asarray(us, dtype=np.int64),
+                      np.asarray(vs, dtype=np.int64), n=len(adj), name=name)
+
+
+def from_networkx(nx_graph, name: str | None = None) -> CSRGraph:
+    """Convert a (relabeled-to-integers) networkx graph."""
+    import networkx as nx
+
+    g = nx.convert_node_labels_to_integers(nx_graph)
+    if g.number_of_edges() == 0:
+        return empty_graph(g.number_of_nodes(), name=name or "nx")
+    arr = np.asarray(list(g.edges()), dtype=np.int64)
+    return from_edges(arr[:, 0], arr[:, 1], n=g.number_of_nodes(),
+                      name=name or "nx")
+
+
+def to_networkx(g: CSRGraph):
+    """Convert to a networkx.Graph (for oracle comparisons in tests)."""
+    import networkx as nx
+
+    out = nx.Graph()
+    out.add_nodes_from(range(g.n))
+    u, v = g.undirected_edges()
+    out.add_edges_from(zip(u.tolist(), v.tolist()))
+    return out
+
+
+def empty_graph(n: int, name: str = "empty") -> CSRGraph:
+    """n isolated vertices."""
+    return CSRGraph(indptr=np.zeros(n + 1, dtype=np.int64),
+                    indices=np.empty(0, dtype=np.int64), name=name)
+
+
+def relabel(g: CSRGraph, perm: np.ndarray, name: str | None = None) -> CSRGraph:
+    """Relabel vertices: new id of old vertex v is ``perm[v]``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    if perm.size != g.n or np.any(np.sort(perm) != np.arange(g.n)):
+        raise ValueError("perm must be a permutation of range(n)")
+    src, dst = g.undirected_edges()
+    return from_edges(perm[src], perm[dst], n=g.n, name=name or g.name)

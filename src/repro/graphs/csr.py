@@ -1,0 +1,140 @@
+"""CSR graph representation (paper SS II-A).
+
+The paper stores G as CSR: n sorted neighbor arrays (2m words) plus
+offsets (n words).  :class:`CSRGraph` is an immutable undirected simple
+graph over vertices {0, ..., n-1} with ``indptr`` (n+1 int64 offsets)
+and ``indices`` (2m int64 neighbor ids, sorted within each row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..primitives.kernels import multi_slice_gather, segment_ids
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An undirected simple graph in compressed sparse row form.
+
+    Invariants (enforced by :meth:`validate`, guaranteed by all
+    constructors in :mod:`repro.graphs.builders`):
+
+    - ``indptr`` is non-decreasing with ``indptr[0] == 0`` and
+      ``indptr[n] == len(indices)``;
+    - each row of ``indices`` is strictly increasing (sorted, no
+      duplicate edges, no self-loops);
+    - symmetry: ``u in N(v)`` iff ``v in N(u)``.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    name: str = field(default="graph", compare=False)
+
+    # -- basic shape ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.indptr.size - 1
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return self.indices.size // 2
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex (fresh array, callers may mutate)."""
+        return np.diff(self.indptr).astype(np.int64)
+
+    @property
+    def max_degree(self) -> int:
+        """Delta: the maximum degree (0 for an empty graph)."""
+        if self.n == 0:
+            return 0
+        return int(np.max(np.diff(self.indptr)))
+
+    @property
+    def min_degree(self) -> int:
+        """delta: the minimum degree (0 for an empty graph)."""
+        if self.n == 0:
+            return 0
+        return int(np.min(np.diff(self.indptr)))
+
+    @property
+    def avg_degree(self) -> float:
+        """delta-hat: the average degree (0.0 for an empty graph)."""
+        if self.n == 0:
+            return 0.0
+        return 2.0 * self.m / self.n
+
+    # -- access ----------------------------------------------------------------
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor array of vertex ``v`` (a view, do not mutate)."""
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Degree of a single vertex."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def batch_neighbors(self, batch: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated neighbor lists of a vertex batch.
+
+        Returns ``(sources, neighbors)`` where ``sources[j]`` is the
+        *position in the batch* owning ``neighbors[j]`` — the flattened
+        "for all v in batch: for all u in N(v)" loop.
+        """
+        batch = np.asarray(batch, dtype=np.int64)
+        counts = (self.indptr[batch + 1] - self.indptr[batch]).astype(np.int64)
+        nbrs = multi_slice_gather(self.indices, self.indptr[batch], counts)
+        return segment_ids(counts), nbrs
+
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray]:
+        """All directed arcs as (src, dst) arrays of length 2m."""
+        src = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.indptr))
+        return src, self.indices.astype(np.int64, copy=False)
+
+    def undirected_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Each undirected edge once, as (u, v) arrays with u < v."""
+        src, dst = self.edge_array()
+        keep = src < dst
+        return src[keep], dst[keep]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Membership test via binary search in the sorted row of u."""
+        row = self.neighbors(u)
+        i = int(np.searchsorted(row, v))
+        return i < row.size and int(row[i]) == v
+
+    # -- integrity -------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise ValueError if any CSR invariant is violated."""
+        if self.indptr.size == 0 or self.indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr[-1] must equal len(indices)")
+        if self.indices.size:
+            if self.indices.min() < 0 or self.indices.max() >= self.n:
+                raise ValueError("neighbor id out of range")
+        src, dst = self.edge_array()
+        if np.any(src == dst):
+            raise ValueError("self-loop present")
+        for v in range(self.n):
+            row = self.neighbors(v)
+            if row.size > 1 and np.any(np.diff(row) <= 0):
+                raise ValueError(f"row {v} not strictly increasing")
+        # Symmetry: the multiset of arcs equals its transpose.
+        fwd = src * self.n + dst
+        rev = dst * self.n + src
+        if not np.array_equal(np.sort(fwd), np.sort(rev)):
+            raise ValueError("adjacency not symmetric")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRGraph(name={self.name!r}, n={self.n}, m={self.m})"

@@ -1,0 +1,252 @@
+"""Synthetic graph generators.
+
+Provides the Kronecker/R-MAT generator the paper uses for weak scaling
+(SS VI-F) plus the standard families the test-suite and the dataset
+stand-ins need: Erdos-Renyi, Barabasi-Albert preferential attachment,
+Chung-Lu power-law, grids (road-network-like), rings, cliques, stars,
+trees, and random bipartite graphs.  All generators take an explicit
+``seed`` and are deterministic given it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builders import empty_graph, from_edges
+from .csr import CSRGraph
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def gnm_random(n: int, m: int, seed: int | None = 0,
+               name: str = "gnm") -> CSRGraph:
+    """Erdos-Renyi G(n, m): m distinct uniform edges (best effort).
+
+    Sampling is with replacement then deduped, so very dense requests may
+    return slightly fewer than ``m`` edges; for the sparse graphs used
+    here the deficit is negligible and resampled once.
+    """
+    if n < 2 or m <= 0:
+        return empty_graph(max(n, 0), name=name)
+    rng = _rng(seed)
+    max_m = n * (n - 1) // 2
+    m = min(m, max_m)
+    u = rng.integers(0, n, size=2 * m, dtype=np.int64)
+    v = rng.integers(0, n, size=2 * m, dtype=np.int64)
+    g = from_edges(u, v, n=n, name=name)
+    if g.m < m:  # top up once with a fresh sample
+        extra_u = rng.integers(0, n, size=2 * m, dtype=np.int64)
+        extra_v = rng.integers(0, n, size=2 * m, dtype=np.int64)
+        su, sv = g.undirected_edges()
+        g = from_edges(np.concatenate([su, extra_u]),
+                       np.concatenate([sv, extra_v]), n=n, name=name)
+    # Trim to exactly min(m, achieved) edges for determinism of density.
+    su, sv = g.undirected_edges()
+    if su.size > m:
+        pick = rng.permutation(su.size)[:m]
+        g = from_edges(su[pick], sv[pick], n=n, name=name)
+    return g
+
+
+def barabasi_albert(n: int, attach: int, seed: int | None = 0,
+                    name: str = "ba") -> CSRGraph:
+    """Preferential attachment: each new vertex attaches to ``attach`` targets.
+
+    Uses the standard repeated-nodes sampling trick, giving the
+    power-law degree distribution typical of collaboration networks.
+    """
+    if attach < 1:
+        raise ValueError("attach must be >= 1")
+    if n <= attach:
+        # complete graph on n vertices
+        return complete_graph(max(n, 0), name=name)
+    rng = _rng(seed)
+    # Repeated-nodes pool: each endpoint appears once per incident edge, so
+    # sampling uniformly from the pool is degree-proportional sampling.
+    pool = np.empty(2 * attach * n + attach, dtype=np.int64)
+    pool[:attach] = np.arange(attach)
+    fill = attach
+    us: list[np.ndarray] = []
+    vs: list[np.ndarray] = []
+    for v in range(attach, n):
+        idx = rng.integers(0, fill, size=attach)
+        targets = np.unique(pool[idx])
+        k = targets.size
+        us.append(np.full(k, v, dtype=np.int64))
+        vs.append(targets)
+        pool[fill:fill + k] = targets
+        pool[fill + k:fill + 2 * k] = v
+        fill += 2 * k
+    return from_edges(np.concatenate(us), np.concatenate(vs), n=n, name=name)
+
+
+def chung_lu(n: int, m_target: int, exponent: float = 2.5,
+             seed: int | None = 0, name: str = "chunglu") -> CSRGraph:
+    """Power-law random graph with ~m_target edges via weighted sampling.
+
+    Degree weights follow ``w_i ~ i^(-1/(exponent-1))`` (Zipfian), the
+    classic scale-free model; endpoints of each edge are drawn with
+    probability proportional to weight.  Matches the heavy-tail degree
+    shape of the paper's social/hyperlink graphs.
+    """
+    if n < 2 or m_target <= 0:
+        return empty_graph(max(n, 0), name=name)
+    rng = _rng(seed)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w = ranks ** (-1.0 / (exponent - 1.0))
+    p = w / w.sum()
+    # Oversample to survive dedup/self-loop losses.
+    k = int(m_target * 1.3) + 16
+    u = rng.choice(n, size=k, p=p).astype(np.int64)
+    v = rng.choice(n, size=k, p=p).astype(np.int64)
+    g = from_edges(u, v, n=n, name=name)
+    su, sv = g.undirected_edges()
+    if su.size > m_target:
+        pick = rng.permutation(su.size)[:m_target]
+        g = from_edges(su[pick], sv[pick], n=n, name=name)
+    return g
+
+
+def kronecker(scale: int, edge_factor: int = 16,
+              probs: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+              seed: int | None = 0, name: str = "kron") -> CSRGraph:
+    """Graph500-style R-MAT/Kronecker generator (paper's weak-scaling input).
+
+    Generates ``n = 2**scale`` vertices and ``edge_factor * n`` edge
+    samples; ``probs = (a, b, c, d)`` are the 2x2 seed-matrix quadrant
+    probabilities (defaults are the Graph500 parameters the Kronecker
+    model of Leskovec et al. popularized).
+    """
+    a, b, c, d = probs
+    if not np.isclose(a + b + c + d, 1.0):
+        raise ValueError("quadrant probabilities must sum to 1")
+    n = 1 << scale
+    m = edge_factor * n
+    rng = _rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(m)
+        u_bit = (r >= a + b).astype(np.int64)  # row bit: P(bottom half) = c + d
+        r2 = rng.random(m)
+        thresh = np.where(u_bit == 1, c / (c + d), a / (a + b))
+        v_bit = (r2 >= thresh).astype(np.int64)
+        src = (src << 1) | u_bit
+        dst = (dst << 1) | v_bit
+    # Permute vertex ids so degree is not correlated with id.
+    perm = rng.permutation(n).astype(np.int64)
+    return from_edges(perm[src], perm[dst], n=n, name=name)
+
+
+def grid_2d(rows: int, cols: int, diagonal: bool = False,
+            name: str = "grid") -> CSRGraph:
+    """2-D mesh (optionally with diagonals): the road-network stand-in."""
+    if rows <= 0 or cols <= 0:
+        return empty_graph(0, name=name)
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    us = [idx[:, :-1].ravel(), idx[:-1, :].ravel()]
+    vs = [idx[:, 1:].ravel(), idx[1:, :].ravel()]
+    if diagonal:
+        us += [idx[:-1, :-1].ravel(), idx[:-1, 1:].ravel()]
+        vs += [idx[1:, 1:].ravel(), idx[1:, :-1].ravel()]
+    return from_edges(np.concatenate(us), np.concatenate(vs),
+                      n=rows * cols, name=name)
+
+
+def road_network(n_target: int, shortcut_fraction: float = 0.01,
+                 seed: int | None = 0, name: str = "road") -> CSRGraph:
+    """Grid plus a few long-range shortcuts: low-degeneracy mesh-like graph.
+
+    Stand-in for the paper's USA road network (v-usa): near-constant
+    degree, tiny degeneracy, huge diameter.
+    """
+    side = max(2, int(np.sqrt(n_target)))
+    g = grid_2d(side, side, name=name)
+    k = int(g.m * shortcut_fraction)
+    if k == 0:
+        return g
+    rng = _rng(seed)
+    su, sv = g.undirected_edges()
+    eu = rng.integers(0, g.n, size=k, dtype=np.int64)
+    ev = rng.integers(0, g.n, size=k, dtype=np.int64)
+    return from_edges(np.concatenate([su, eu]), np.concatenate([sv, ev]),
+                      n=g.n, name=name)
+
+
+def ring(n: int, name: str = "ring") -> CSRGraph:
+    """Cycle on n vertices."""
+    if n < 3:
+        return path_graph(n, name=name)
+    v = np.arange(n, dtype=np.int64)
+    return from_edges(v, (v + 1) % n, n=n, name=name)
+
+
+def path_graph(n: int, name: str = "path") -> CSRGraph:
+    """Path on n vertices (the worst case for SL-style peeling depth)."""
+    if n < 2:
+        return empty_graph(max(n, 0), name=name)
+    v = np.arange(n - 1, dtype=np.int64)
+    return from_edges(v, v + 1, n=n, name=name)
+
+
+def complete_graph(n: int, name: str = "clique") -> CSRGraph:
+    """K_n: degeneracy n-1, chromatic number n."""
+    if n < 2:
+        return empty_graph(max(n, 0), name=name)
+    u, v = np.triu_indices(n, k=1)
+    return from_edges(u.astype(np.int64), v.astype(np.int64), n=n, name=name)
+
+
+def star(n_leaves: int, name: str = "star") -> CSRGraph:
+    """Star with one hub: Delta = n-1 but degeneracy 1."""
+    if n_leaves < 1:
+        return empty_graph(1, name=name)
+    leaves = np.arange(1, n_leaves + 1, dtype=np.int64)
+    return from_edges(np.zeros(n_leaves, dtype=np.int64), leaves,
+                      n=n_leaves + 1, name=name)
+
+
+def random_tree(n: int, seed: int | None = 0, name: str = "tree") -> CSRGraph:
+    """Uniform random attachment tree: degeneracy exactly 1 (n >= 2)."""
+    if n < 2:
+        return empty_graph(max(n, 0), name=name)
+    rng = _rng(seed)
+    parents = np.array([rng.integers(0, v) for v in range(1, n)], dtype=np.int64)
+    children = np.arange(1, n, dtype=np.int64)
+    return from_edges(children, parents, n=n, name=name)
+
+
+def random_bipartite(n_left: int, n_right: int, m: int, seed: int | None = 0,
+                     name: str = "bipartite") -> CSRGraph:
+    """Random bipartite graph: chromatic number <= 2 regardless of density."""
+    if n_left <= 0 or n_right <= 0 or m <= 0:
+        return empty_graph(max(n_left + n_right, 0), name=name)
+    rng = _rng(seed)
+    u = rng.integers(0, n_left, size=m, dtype=np.int64)
+    v = rng.integers(0, n_right, size=m, dtype=np.int64) + n_left
+    return from_edges(u, v, n=n_left + n_right, name=name)
+
+
+def planted_kcore(n: int, k: int, fringe_edges: int = 2, seed: int | None = 0,
+                  name: str = "kcore") -> CSRGraph:
+    """A clique K_{k+1} (the planted core) plus a sparse fringe.
+
+    Degeneracy is exactly ``k`` when ``fringe_edges < k``; useful for
+    exercising degeneracy-sensitive bounds with a known ground truth.
+    """
+    if k < 1 or n < k + 1:
+        raise ValueError("need n >= k + 1 and k >= 1")
+    core = complete_graph(k + 1)
+    cu, cv = core.undirected_edges()
+    rng = _rng(seed)
+    us: list[np.ndarray] = [cu]
+    vs: list[np.ndarray] = [cv]
+    for v in range(k + 1, n):
+        t = rng.integers(0, v, size=min(fringe_edges, v), dtype=np.int64)
+        us.append(np.full(t.size, v, dtype=np.int64))
+        vs.append(t)
+    return from_edges(np.concatenate(us), np.concatenate(vs), n=n, name=name)

@@ -1,0 +1,107 @@
+"""Graph I/O: SNAP-style edge lists, METIS adjacency files, NPZ binaries.
+
+The paper's corpus comes as edge-list downloads (SNAP/KONECT); these
+readers let users drop in the real files when they have them, while the
+benchmark suite uses synthetic stand-ins (DESIGN.md S2).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .builders import from_edges
+from .csr import CSRGraph
+
+
+def read_edge_list(path: str | os.PathLike, comments: str = "#",
+                   name: str | None = None) -> CSRGraph:
+    """Read a whitespace-separated edge list (SNAP format).
+
+    Lines starting with ``comments`` are skipped; vertex ids may be
+    arbitrary non-negative integers and are compacted to 0..n-1.
+    """
+    us: list[int] = []
+    vs: list[int] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith(comments):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            us.append(int(parts[0]))
+            vs.append(int(parts[1]))
+    u = np.asarray(us, dtype=np.int64)
+    v = np.asarray(vs, dtype=np.int64)
+    # Compact ids.
+    ids = np.unique(np.concatenate([u, v])) if u.size else np.empty(0, np.int64)
+    remap = {int(x): i for i, x in enumerate(ids)}
+    u = np.asarray([remap[int(x)] for x in u], dtype=np.int64)
+    v = np.asarray([remap[int(x)] for x in v], dtype=np.int64)
+    return from_edges(u, v, n=ids.size,
+                      name=name or os.path.basename(os.fspath(path)))
+
+
+def write_edge_list(g: CSRGraph, path: str | os.PathLike,
+                    header: bool = True) -> None:
+    """Write each undirected edge once as 'u v' per line."""
+    u, v = g.undirected_edges()
+    with open(path, "w", encoding="utf-8") as fh:
+        if header:
+            fh.write(f"# {g.name}: n={g.n} m={g.m}\n")
+        for a, b in zip(u.tolist(), v.tolist()):
+            fh.write(f"{a} {b}\n")
+
+
+def read_metis(path: str | os.PathLike, name: str | None = None) -> CSRGraph:
+    """Read a METIS .graph file (1-based adjacency lists)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        # Blank lines are meaningful (isolated vertices); only drop comments.
+        lines = [ln.rstrip("\n") for ln in fh
+                 if not ln.lstrip().startswith("%")]
+    while lines and not lines[0].strip():
+        lines.pop(0)
+    if not lines:
+        raise ValueError("empty METIS file")
+    head = lines[0].split()
+    n_decl, m_decl = int(head[0]), int(head[1])
+    adj_lines = lines[1:]
+    if len(adj_lines) < n_decl or any(ln.strip() for ln in adj_lines[n_decl:]):
+        raise ValueError(f"METIS header declares {n_decl} vertices, "
+                         f"file has {len(adj_lines)} adjacency lines")
+    us: list[int] = []
+    vs: list[int] = []
+    for v, line in enumerate(adj_lines[:n_decl]):
+        for tok in line.split():
+            us.append(v)
+            vs.append(int(tok) - 1)
+    g = from_edges(np.asarray(us, np.int64), np.asarray(vs, np.int64),
+                   n=n_decl, name=name or os.path.basename(os.fspath(path)))
+    if g.m != m_decl:
+        raise ValueError(f"METIS header declares {m_decl} edges, parsed {g.m}")
+    return g
+
+
+def write_metis(g: CSRGraph, path: str | os.PathLike) -> None:
+    """Write a METIS .graph file (1-based adjacency lists)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"{g.n} {g.m}\n")
+        for v in range(g.n):
+            fh.write(" ".join(str(int(u) + 1) for u in g.neighbors(v)) + "\n")
+
+
+def save_npz(g: CSRGraph, path: str | os.PathLike) -> None:
+    """Binary save of the CSR arrays."""
+    np.savez_compressed(path, indptr=g.indptr, indices=g.indices,
+                        name=np.asarray(g.name))
+
+
+def load_npz(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        return CSRGraph(indptr=data["indptr"].astype(np.int64),
+                        indices=data["indices"].astype(np.int64),
+                        name=str(data["name"]))

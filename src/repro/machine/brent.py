@@ -1,0 +1,67 @@
+"""Brent-scheduling simulation of a P-processor machine.
+
+The paper's machine model (SS II-C) is the ideal parallel computer; by
+Brent's theorem, any computation with work W and depth D executes on P
+processors in time ``max(W/P, D) <= T <= W/P + D``.  The scaling figures
+(Fig. 2) of the paper report wall-clock on a 32-core Xeon; this module
+reports the simulated time ``T(P) = W/P + D`` instead — the quantity the
+paper's asymptotic claims bound (substitution S1 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .costmodel import CostModel
+
+
+@dataclass(frozen=True)
+class SimulatedTime:
+    """Simulated run-time of one algorithm execution on ``processors``."""
+
+    processors: int
+    work: int
+    depth: int
+
+    @property
+    def time(self) -> float:
+        """Brent upper bound T = W/P + D (in unit-cost operations)."""
+        return self.work / self.processors + self.depth
+
+    @property
+    def lower_bound(self) -> float:
+        """Brent lower bound max(W/P, D)."""
+        return max(self.work / self.processors, float(self.depth))
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Speedup over the 1-processor execution of the same computation."""
+        t1 = self.work + self.depth
+        return t1 / self.time
+
+    @property
+    def efficiency(self) -> float:
+        """Parallel efficiency: speedup / processors, in (0, 1]."""
+        return self.speedup_vs_serial / self.processors
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of processor-cycles spent waiting at round barriers.
+
+        Used as the 'stalled cycles' proxy for the paper's Fig. 4.
+        """
+        busy = self.work
+        total = self.processors * self.time
+        return max(0.0, 1.0 - busy / total)
+
+
+def simulate(cost: CostModel, processors: int) -> SimulatedTime:
+    """Simulate ``cost`` (a finished run's accounting) on ``processors``."""
+    if processors < 1:
+        raise ValueError(f"processors must be >= 1, got {processors}")
+    return SimulatedTime(processors=processors, work=cost.work, depth=cost.depth)
+
+
+def scaling_curve(cost: CostModel, processor_counts: list[int]) -> list[SimulatedTime]:
+    """Simulated times for a strong-scaling sweep over processor counts."""
+    return [simulate(cost, p) for p in processor_counts]

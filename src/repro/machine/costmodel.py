@@ -1,0 +1,171 @@
+"""Work-depth cost accounting for the DAG model of dynamic multithreading.
+
+The paper (SS II-C) analyzes all algorithms in the work-depth (W-D) model:
+*work* is the total number of constant-time operations, *depth* is the
+longest chain of sequentially dependent operations.  Every algorithm in
+this library is written as a sequence of *parallel rounds* over NumPy
+arrays; each round reports its work and depth contribution here, using
+the same cost rules the paper uses (e.g. a Reduce over k items costs
+O(k) work and O(log k) depth).
+
+A :class:`CostModel` instance is threaded through an algorithm run and
+afterwards exposes total work, total depth, and a per-phase breakdown.
+Brent's theorem (``repro.machine.brent``) turns (W, D) into a simulated
+execution time on P processors.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+def log2_ceil(k: int | float) -> int:
+    """Depth of a balanced reduction tree over ``k`` items (>= 0)."""
+    if k <= 1:
+        return 1 if k == 1 else 0
+    return int(math.ceil(math.log2(k)))
+
+
+@dataclass
+class PhaseCost:
+    """Accumulated cost of one named phase of an algorithm."""
+
+    work: int = 0
+    depth: int = 0
+    rounds: int = 0
+
+    def add(self, work: int, depth: int) -> None:
+        self.work += int(work)
+        self.depth += int(depth)
+        self.rounds += 1
+
+
+@dataclass
+class CostModel:
+    """Accumulates work and depth over the parallel rounds of a run.
+
+    The model distinguishes the CRCW and CREW settings of the paper: a
+    few primitives (``DecrementAndFetch`` scatters) are only constant
+    depth under CRCW; callers pass ``crew=True`` to charge the CREW
+    alternative.
+
+    Besides the totals, every round is appended to ``round_log`` as a
+    ``(phase, work, depth)`` triple, so the event-level machine
+    simulator (:mod:`repro.machine.simulator`) can replay the execution
+    round by round instead of only through the aggregate Brent bound.
+    """
+
+    crew: bool = False
+    work: int = 0
+    depth: int = 0
+    phases: dict[str, PhaseCost] = field(default_factory=dict)
+    round_log: list[tuple[str, int, int]] = field(default_factory=list)
+    _stack: list[str] = field(default_factory=list)
+
+    # -- structured recording ------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str):
+        """Attribute all cost recorded inside the block to ``name``."""
+        self._stack.append(name)
+        try:
+            yield self
+        finally:
+            self._stack.pop()
+
+    def _phase_cost(self) -> PhaseCost:
+        name = self._stack[-1] if self._stack else "<toplevel>"
+        if name not in self.phases:
+            self.phases[name] = PhaseCost()
+        return self.phases[name]
+
+    def round(self, work: int, depth: int = 1) -> None:
+        """Record one parallel round with the given work and depth."""
+        work = int(work)
+        depth = int(depth)
+        self.work += work
+        self.depth += depth
+        self._phase_cost().add(work, depth)
+        self.round_log.append(
+            (self._stack[-1] if self._stack else "<toplevel>", work, depth))
+
+    # -- primitive cost rules (paper SS II-D) --------------------------------
+
+    def parallel_for(self, n_items: int, per_item_work: int = 1) -> None:
+        """A flat parallel loop: O(n) work, O(1) depth (O(per_item) each)."""
+        if n_items <= 0:
+            return
+        self.round(n_items * max(1, per_item_work), max(1, per_item_work))
+
+    def reduce(self, n_items: int) -> None:
+        """Reduce/Count over ``n_items``: O(n) work, O(log n) depth."""
+        if n_items <= 0:
+            return
+        self.round(n_items, log2_ceil(n_items))
+
+    def prefix_sum(self, n_items: int) -> None:
+        """PrefixSum over ``n_items``: O(n) work, O(log n) depth."""
+        if n_items <= 0:
+            return
+        self.round(2 * n_items, 2 * log2_ceil(n_items))
+
+    def scatter_decrement(self, n_updates: int, max_collisions: int = 1) -> None:
+        """DecrementAndFetch scatter of ``n_updates`` atomics.
+
+        Under CRCW (read-modify-write atomics finish in O(1)) this is a
+        single round; under CREW the colliding updates serialize into a
+        combining tree of depth O(log max_collisions).
+        """
+        if n_updates <= 0:
+            return
+        depth = log2_ceil(max(1, max_collisions)) if self.crew else 1
+        self.round(n_updates, max(1, depth))
+
+    def integer_sort(self, n_items: int, key_range: int | None = None) -> None:
+        """Linear-time parallel integer sort (counting/radix, SS V-B)."""
+        if n_items <= 0:
+            return
+        # A stable counting sort is a constant number of prefix sums.
+        self.round(3 * n_items, 3 * log2_ceil(max(n_items, key_range or 1)))
+
+    # -- reporting ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """Per-phase {work, depth, rounds} breakdown plus totals."""
+        out = {
+            name: {"work": p.work, "depth": p.depth, "rounds": p.rounds}
+            for name, p in self.phases.items()
+        }
+        out["<total>"] = {"work": self.work, "depth": self.depth,
+                          "rounds": sum(p.rounds for p in self.phases.values())}
+        return out
+
+    def merge(self, other: "CostModel") -> None:
+        """Fold another model's totals into this one (sequential composition)."""
+        self.work += other.work
+        self.depth += other.depth
+        self.round_log.extend(other.round_log)
+        for name, p in other.phases.items():
+            if name not in self.phases:
+                self.phases[name] = PhaseCost()
+            dst = self.phases[name]
+            dst.work += p.work
+            dst.depth += p.depth
+            dst.rounds += p.rounds
+
+
+class NullCostModel(CostModel):
+    """A cost model that records nothing; used when accounting is off."""
+
+    def round(self, work: int, depth: int = 1) -> None:  # noqa: D102
+        pass
+
+    def merge(self, other: CostModel) -> None:  # noqa: D102
+        pass
+
+
+def ensure_cost(cost: CostModel | None, crew: bool = False) -> CostModel:
+    """Return ``cost`` or a fresh CostModel when the caller passed None."""
+    return cost if cost is not None else CostModel(crew=crew)

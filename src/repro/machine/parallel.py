@@ -1,0 +1,86 @@
+"""Chunked thread-pool execution of data-parallel rounds.
+
+Real shared-memory parallelism in CPython is limited by the GIL, but
+NumPy kernels release it, so chunking a vectorized round over a thread
+pool still expresses the parallel structure of the paper's algorithms
+(and yields real speedups on multicore machines for large arrays).  On a
+single-core host this degrades gracefully to sequential chunk execution.
+
+Use :func:`chunked_map` for embarrassingly parallel per-chunk work and
+:class:`ParallelContext` to carry a pool through an algorithm run.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def default_workers() -> int:
+    """Worker count: $REPRO_WORKERS, else the CPU count."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(1, os.cpu_count() or 1)
+
+
+def split_chunks(n: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Split range(n) into <= n_chunks contiguous, balanced [lo, hi) spans."""
+    if n <= 0:
+        return []
+    n_chunks = max(1, min(n_chunks, n))
+    bounds = np.linspace(0, n, n_chunks + 1, dtype=np.int64)
+    return [(int(bounds[i]), int(bounds[i + 1]))
+            for i in range(n_chunks) if bounds[i] < bounds[i + 1]]
+
+
+class ParallelContext:
+    """Holds a thread pool and worker count for one algorithm run."""
+
+    def __init__(self, workers: int | None = None):
+        self.workers = workers if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        self._pool: ThreadPoolExecutor | None = None
+
+    def __enter__(self) -> "ParallelContext":
+        if self.workers > 1:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def map_chunks(self, fn: Callable[[int, int], T], n: int) -> list[T]:
+        """Run ``fn(lo, hi)`` over a balanced chunking of range(n)."""
+        chunks = split_chunks(n, self.workers * 4)
+        if self._pool is None or len(chunks) <= 1:
+            return [fn(lo, hi) for lo, hi in chunks]
+        futures = [self._pool.submit(fn, lo, hi) for lo, hi in chunks]
+        return [f.result() for f in futures]
+
+
+def chunked_map(fn: Callable[[int, int], T], n: int,
+                workers: int | None = None) -> list[T]:
+    """One-shot chunked map without keeping a pool alive."""
+    with ParallelContext(workers) as ctx:
+        return ctx.map_chunks(fn, n)
+
+
+def chunked_sum(values: Sequence[float] | Iterable[float]) -> float:
+    """Deterministic pairwise sum of per-chunk partial results."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    while len(vals) > 1:
+        nxt = [vals[i] + vals[i + 1] if i + 1 < len(vals) else vals[i]
+               for i in range(0, len(vals), 2)]
+        vals = nxt
+    return vals[0]

@@ -1,0 +1,114 @@
+"""Round-level replay of an algorithm execution on a P-processor machine.
+
+The aggregate Brent bound (``repro.machine.brent``) collapses a run to
+one (W, D) pair; this simulator replays the recorded *round log*
+instead.  Each round is a bulk-synchronous step: its ``work`` items are
+spread over P processors (perfectly balanced, as the ideal machine of
+paper SS II-C allows), it cannot finish faster than its own ``depth``
+(the critical path inside the round), and a barrier separates rounds.
+
+    T_sim(P) = sum over rounds of max(ceil(work_i / P), depth_i)
+
+This is sandwiched between the Brent bounds — max(W/P, D) <= T_sim <=
+W/P + D — and exposes per-phase timelines and idle fractions, which the
+Fig. 4 reproduction reports as the stalled-cycle proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .costmodel import CostModel
+
+
+@dataclass(frozen=True)
+class RoundTrace:
+    """One simulated round of the replay."""
+
+    phase: str
+    work: int
+    depth: int
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class Replay:
+    """The full simulated execution on ``processors``."""
+
+    processors: int
+    rounds: tuple[RoundTrace, ...]
+
+    @property
+    def time(self) -> float:
+        """Total simulated time (unit operations)."""
+        return self.rounds[-1].end if self.rounds else 0.0
+
+    @property
+    def work(self) -> int:
+        return sum(r.work for r in self.rounds)
+
+    @property
+    def busy_fraction(self) -> float:
+        """Fraction of processor-time doing work (1 - idle)."""
+        total = self.processors * self.time
+        if total == 0:
+            return 1.0
+        return min(1.0, self.work / total)
+
+    @property
+    def idle_fraction(self) -> float:
+        """Barrier + imbalance idle fraction (Fig. 4 proxy)."""
+        return 1.0 - self.busy_fraction
+
+    def phase_times(self) -> dict[str, float]:
+        """Simulated time spent in each phase."""
+        out: dict[str, float] = {}
+        for r in self.rounds:
+            out[r.phase] = out.get(r.phase, 0.0) + r.duration
+        return out
+
+    def bottleneck_phase(self) -> str:
+        """The phase consuming the most simulated time."""
+        times = self.phase_times()
+        if not times:
+            return "<none>"
+        return max(times, key=times.get)
+
+
+def replay(cost: CostModel, processors: int) -> Replay:
+    """Replay a finished run's round log on ``processors``."""
+    if processors < 1:
+        raise ValueError(f"processors must be >= 1, got {processors}")
+    rounds: list[RoundTrace] = []
+    clock = 0.0
+    for phase, work, depth in cost.round_log:
+        duration = float(max(-(-work // processors), depth, 1))
+        rounds.append(RoundTrace(phase=phase, work=work, depth=depth,
+                                 start=clock, duration=duration))
+        clock += duration
+    return Replay(processors=processors, rounds=tuple(rounds))
+
+
+def replay_curve(cost: CostModel, processor_counts: list[int]) -> list[Replay]:
+    """Replays for a strong-scaling sweep."""
+    return [replay(cost, p) for p in processor_counts]
+
+
+def crossover_processors(cost_a: CostModel, cost_b: CostModel,
+                         max_p: int = 1 << 16) -> int | None:
+    """Smallest P where A's replay beats B's (None if never up to max_p).
+
+    Useful for 'where does the parallel algorithm overtake the
+    sequential one' questions — e.g. JP-ADG vs JP-SL.
+    """
+    p = 1
+    while p <= max_p:
+        if replay(cost_a, p).time < replay(cost_b, p).time:
+            return p
+        p *= 2
+    return None

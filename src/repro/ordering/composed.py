@@ -1,0 +1,73 @@
+"""Ordering composition: the tunable parallelism-quality dial of SS IV-E.
+
+The paper observes that JP-ADG's priority is really the pair
+<rho_ADG, rho_X> for a secondary order X: with eps -> 0 the ADG levels
+dominate (quality approaches 2d+1); with eps -> infinity ADG collapses
+to a single level and the composite converges to plain JP-X.  Choosing
+X = R gives the default; X = LF or LLF recovers the low-depth
+largest-degree orders inside each ADG level.
+
+``compose`` builds <primary, secondary> for any two orderings, and
+``adg_with_tiebreak`` is the paper's concrete instantiation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..machine.costmodel import CostModel
+from ..machine.memmodel import MemoryModel
+from .adg import adg_ordering
+from .base import Ordering, total_order
+from .registry import get_ordering
+
+
+def compose(primary: Ordering, secondary: Ordering,
+            name: str | None = None) -> Ordering:
+    """The lexicographic order <primary.levels-or-ranks, secondary.ranks>.
+
+    When the primary has a level structure, ties *within a level* are
+    broken by the secondary's ranks; for total-order primaries the
+    secondary never fires (documented degenerate case).
+    """
+    if primary.n != secondary.n:
+        raise ValueError("orderings cover different vertex counts")
+    key = primary.levels if primary.levels is not None else primary.ranks
+    ranks = total_order(key, secondary.ranks)
+    cost = CostModel()
+    cost.merge(primary.cost)
+    cost.merge(secondary.cost)
+    mem = MemoryModel()
+    mem.merge(primary.mem)
+    mem.merge(secondary.mem)
+    return Ordering(name=name or f"{primary.name}|{secondary.name}",
+                    ranks=ranks, levels=primary.levels,
+                    num_levels=primary.num_levels, cost=cost, mem=mem)
+
+
+def adg_with_tiebreak(g: CSRGraph, eps: float = 0.01, tiebreak: str = "R",
+                      seed: int | None = 0, **adg_kwargs) -> Ordering:
+    """ADG levels with ties broken by another registered ordering.
+
+    ``tiebreak`` in {"R", "LF", "LLF", "FF", ...}: any registry name.
+    """
+    primary = adg_ordering(g, eps=eps, seed=seed, **adg_kwargs)
+    secondary = get_ordering(tiebreak, g, seed=seed)
+    return compose(primary, secondary, name=f"ADG-{tiebreak}")
+
+
+def convergence_gap(g: CSRGraph, eps: float, tiebreak: str = "LF",
+                    seed: int | None = 0) -> float:
+    """Fraction of vertices ranked differently from plain JP-X.
+
+    As eps grows, ADG degenerates to one level and the composite order
+    converges to the pure tie-break order; this measures how far from
+    converged a given eps still is (1.0 = completely different,
+    0.0 = identical order).
+    """
+    composite = adg_with_tiebreak(g, eps=eps, tiebreak=tiebreak, seed=seed)
+    pure = get_ordering(tiebreak, g, seed=seed)
+    if g.n == 0:
+        return 0.0
+    return float(np.mean(composite.ranks != pure.ranks))

@@ -1,0 +1,73 @@
+"""The O(1)-computable orderings: FF, R, LF, LLF (Table II rows 1, 2, 5, 6).
+
+- FF (first-fit): the natural vertex order — vertex 0 colored first.
+- R (random): a uniformly random total order.
+- LF (largest-degree-first): priority = degree, random tie-break.
+- LLF (largest-log-degree-first): priority = ceil(log2(degree)), random
+  tie-break; the log-bucketing is what restores parallel depth bounds
+  (Hasenplaugh et al.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..machine.costmodel import CostModel
+from ..machine.memmodel import MemoryModel
+from .base import Ordering, random_tiebreak, total_order
+
+
+def ff_ordering(g: CSRGraph, seed: int | None = None) -> Ordering:
+    """First-fit: rank n-1 for vertex 0, descending with vertex id."""
+    cost = CostModel()
+    mem = MemoryModel()
+    with cost.phase("order:ff"):
+        cost.parallel_for(g.n)
+    mem.stream(g.n, "order:ff")
+    ranks = np.arange(g.n - 1, -1, -1, dtype=np.int64) if g.n else \
+        np.empty(0, dtype=np.int64)
+    return Ordering(name="FF", ranks=ranks, cost=cost, mem=mem)
+
+
+def random_ordering(g: CSRGraph, seed: int | None = 0) -> Ordering:
+    """R: a uniformly random permutation of the vertices."""
+    cost = CostModel()
+    mem = MemoryModel()
+    with cost.phase("order:random"):
+        cost.parallel_for(g.n)
+    mem.stream(g.n, "order:random")
+    return Ordering(name="R", ranks=random_tiebreak(g.n, seed),
+                    cost=cost, mem=mem)
+
+
+def lf_ordering(g: CSRGraph, seed: int | None = 0) -> Ordering:
+    """LF: rho(v) = <deg(v), rho_R(v)> lexicographic, largest first."""
+    cost = CostModel()
+    mem = MemoryModel()
+    with cost.phase("order:lf"):
+        cost.parallel_for(g.n)
+    mem.stream(g.n, "order:lf")
+    deg = g.degrees
+    return Ordering(name="LF",
+                    ranks=total_order(deg, random_tiebreak(g.n, seed)),
+                    levels=deg + 1, num_levels=g.max_degree + 1,
+                    cost=cost, mem=mem)
+
+
+def llf_ordering(g: CSRGraph, seed: int | None = 0) -> Ordering:
+    """LLF: rho(v) = <ceil(log2 deg(v)), rho_R(v)>, largest bucket first."""
+    cost = CostModel()
+    mem = MemoryModel()
+    with cost.phase("order:llf"):
+        cost.parallel_for(g.n)
+    mem.stream(g.n, "order:llf")
+    deg = g.degrees
+    buckets = np.zeros(g.n, dtype=np.int64)
+    pos = deg > 0
+    buckets[pos] = np.ceil(np.log2(np.maximum(deg[pos], 1) + 1)).astype(np.int64)
+    num_levels = int(buckets.max()) + 1 if g.n else 0
+    return Ordering(name="LLF",
+                    ranks=total_order(buckets, random_tiebreak(g.n, seed)),
+                    levels=buckets + 1, num_levels=num_levels,
+                    cost=cost, mem=mem)

@@ -1,0 +1,36 @@
+"""SL: smallest-degree-last — the exact degeneracy ordering (Matula-Beck).
+
+Sequentially removes a minimum-degree vertex; the reverse removal order
+is the degeneracy ordering, in which every vertex has at most d
+higher-ranked neighbors, so JP-SL uses at most d+1 colors.  Depth is
+Omega(n): this is the quality-optimal but parallelism-free baseline the
+paper's ADG relaxes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..graphs.properties import peel_degeneracy
+from ..machine.costmodel import CostModel
+from ..machine.memmodel import MemoryModel
+from .base import Ordering
+
+
+def sl_ordering(g: CSRGraph, seed: int | None = None) -> Ordering:
+    """Exact degeneracy ordering; rank = removal position (last = highest)."""
+    cost = CostModel()
+    mem = MemoryModel()
+    peel = peel_degeneracy(g)
+    with cost.phase("order:sl"):
+        # Sequential peeling: each of the n steps touches the removed
+        # vertex's remaining neighbors -> O(n + m) work, Omega(n) depth.
+        cost.round(g.n + 2 * g.m, g.n)
+    mem.stream(g.n, "order:sl")
+    mem.gather(2 * g.m, "order:sl")
+    ranks = np.empty(g.n, dtype=np.int64)
+    ranks[peel.order] = np.arange(g.n, dtype=np.int64)
+    # Levels: the removal position itself (a total order), 1-based.
+    return Ordering(name="SL", ranks=ranks, levels=ranks + 1,
+                    num_levels=g.n, cost=cost, mem=mem)

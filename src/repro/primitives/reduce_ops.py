@@ -1,0 +1,71 @@
+"""Reduce and Count primitives (paper SS II-D) with cost accounting.
+
+``Reduce`` sums an operator applied over a set stored as an array or
+bitmap; ``Count`` is Reduce with the indicator operator.  In the CREW
+setting both take O(log n) depth and O(n) work; the CostModel records
+exactly that, while the actual computation is a NumPy reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..machine.costmodel import CostModel
+
+
+def reduce_sum(values: np.ndarray, cost: CostModel | None = None) -> int | float:
+    """Reduce with f = identity: the sum of ``values``."""
+    values = np.asarray(values)
+    if cost is not None:
+        cost.reduce(values.size)
+    if values.size == 0:
+        return 0
+    return values.sum().item()
+
+
+def reduce_with(values: np.ndarray, operator: Callable[[np.ndarray], np.ndarray],
+                cost: CostModel | None = None) -> int | float:
+    """Reduce with an arbitrary vectorized operator f applied elementwise."""
+    values = np.asarray(values)
+    if cost is not None:
+        cost.reduce(values.size)
+    if values.size == 0:
+        return 0
+    return np.sum(operator(values)).item()
+
+
+def count(mask: np.ndarray, cost: CostModel | None = None) -> int:
+    """Count(S): the size of a set stored as a boolean bitmap."""
+    mask = np.asarray(mask, dtype=bool)
+    if cost is not None:
+        cost.reduce(mask.size)
+    return int(mask.sum())
+
+
+def count_members(items: np.ndarray, member: np.ndarray,
+                  cost: CostModel | None = None) -> int:
+    """Count(items intersect S) where S is given as a bitmap ``member``.
+
+    This is the CREW-UPDATE building block of Alg. 2:
+    ``Count(N_U(v) intersect R)`` with ``items = N_U(v)`` and
+    ``member = R``-bitmap.
+    """
+    items = np.asarray(items)
+    if cost is not None:
+        cost.reduce(items.size)
+    if items.size == 0:
+        return 0
+    return int(member[items].sum())
+
+
+def average(values: np.ndarray, cost: CostModel | None = None) -> float:
+    """Average via two Reduces (sum and count), as ADG computes delta-hat."""
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ValueError("average of an empty set is undefined")
+    total = reduce_sum(values, cost)
+    if cost is not None:
+        cost.reduce(values.size)  # the Count reduce
+    return total / values.size

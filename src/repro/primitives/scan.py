@@ -1,0 +1,42 @@
+"""PrefixSum primitive (paper SS II-D) with cost accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.costmodel import CostModel
+
+
+def prefix_sum(values: np.ndarray, cost: CostModel | None = None,
+               inclusive: bool = True) -> np.ndarray:
+    """Parallel prefix sum: O(n) work, O(log n) depth.
+
+    With ``inclusive=False`` returns the exclusive scan (shifted by one,
+    starting at 0), the form used to compute write offsets when packing
+    a filtered vertex set into a contiguous array (SS V-A).
+    """
+    values = np.asarray(values)
+    if cost is not None:
+        cost.prefix_sum(values.size)
+    if values.size == 0:
+        return values.astype(np.int64, copy=True)
+    inc = np.cumsum(values)
+    if inclusive:
+        return inc
+    exc = np.empty_like(inc)
+    exc[0] = 0
+    exc[1:] = inc[:-1]
+    return exc
+
+
+def pack_indices(mask: np.ndarray, cost: CostModel | None = None) -> np.ndarray:
+    """Indices of True entries, packed contiguously via an exclusive scan.
+
+    Equivalent to ``np.flatnonzero`` but charged as the PrefixSum-based
+    stream compaction it would be on a PRAM.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if cost is not None:
+        cost.prefix_sum(mask.size)
+        cost.parallel_for(mask.size)
+    return np.flatnonzero(mask).astype(np.int64)

@@ -1,0 +1,53 @@
+"""Accounting integrity: the cost/memory books must balance for every
+algorithm — totals equal the sum of the per-round log, phases partition
+the totals, and Brent/replay agree on work."""
+
+import pytest
+
+from repro.coloring.registry import ALGORITHMS, color
+from repro.machine.brent import simulate
+from repro.machine.simulator import replay
+from repro.ordering.registry import ORDERINGS, get_ordering
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+class TestColoringAccounting:
+    def test_round_log_balances(self, name, small_random):
+        res = color(name, small_random, seed=0)
+        cost = res.combined_cost()
+        assert cost.work == sum(w for _, w, _ in cost.round_log)
+        assert cost.depth == sum(d for _, _, d in cost.round_log)
+
+    def test_phases_partition_totals(self, name, small_random):
+        res = color(name, small_random, seed=0)
+        cost = res.combined_cost()
+        assert sum(p.work for p in cost.phases.values()) == cost.work
+        assert sum(p.depth for p in cost.phases.values()) == cost.depth
+
+    def test_replay_conserves_work(self, name, small_random):
+        res = color(name, small_random, seed=0)
+        cost = res.combined_cost()
+        assert replay(cost, 16).work == cost.work
+
+    def test_replay_within_brent_bounds(self, name, small_random):
+        res = color(name, small_random, seed=0)
+        cost = res.combined_cost()
+        for p in [1, 8, 64]:
+            t = replay(cost, p).time
+            agg = simulate(cost, p)
+            slack = len(cost.round_log)  # per-round ceil rounding
+            assert agg.lower_bound - 1e-9 <= t <= agg.time + slack
+
+
+@pytest.mark.parametrize("name", sorted(ORDERINGS))
+class TestOrderingAccounting:
+    def test_round_log_balances(self, name, small_random):
+        o = get_ordering(name, small_random, seed=0)
+        assert o.cost.work == sum(w for _, w, _ in o.cost.round_log)
+        assert o.cost.depth == sum(d for _, _, d in o.cost.round_log)
+
+    def test_memory_totals_consistent(self, name, small_random):
+        o = get_ordering(name, small_random, seed=0)
+        by_phase = o.mem.by_phase.values()
+        assert sum(s for s, _ in by_phase) == o.mem.sequential
+        assert sum(r for _, r in by_phase) == o.mem.random

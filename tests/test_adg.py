@@ -1,0 +1,222 @@
+"""Tests for ADG: the paper's core contribution (Lemmas 1, 2, 4, 5, 14, 15)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.bounds import (
+    adg_approx_factor,
+    adg_iteration_bound,
+    adg_m_iteration_bound,
+)
+from repro.graphs.generators import (
+    chung_lu,
+    complete_graph,
+    gnm_random,
+    grid_2d,
+    kronecker,
+    path_graph,
+    planted_kcore,
+    random_tree,
+    star,
+)
+from repro.graphs.properties import degeneracy
+from repro.ordering.adg import adg_m_ordering, adg_ordering, approximation_quality
+
+from .conftest import graph_zoo, graphs
+
+
+class TestADGBasics:
+    def test_is_total_order(self, small_random):
+        adg_ordering(small_random, eps=0.1).validate()
+
+    def test_levels_cover_vertices(self, small_random):
+        o = adg_ordering(small_random, eps=0.1)
+        assert o.levels is not None
+        assert np.all(o.levels >= 1)
+        assert o.levels.max() == o.num_levels
+
+    def test_deterministic(self, small_random):
+        a = adg_ordering(small_random, eps=0.1, seed=3)
+        b = adg_ordering(small_random, eps=0.1, seed=3)
+        np.testing.assert_array_equal(a.ranks, b.ranks)
+
+    def test_negative_eps_raises(self, small_random):
+        with pytest.raises(ValueError):
+            adg_ordering(small_random, eps=-0.5)
+
+    def test_bad_variant_raises(self, small_random):
+        with pytest.raises(ValueError):
+            adg_ordering(small_random, variant="bogus")
+
+    def test_bad_update_raises(self, small_random):
+        with pytest.raises(ValueError):
+            adg_ordering(small_random, update="bogus")
+
+    def test_empty_graph(self):
+        from repro.graphs.builders import empty_graph
+        o = adg_ordering(empty_graph(0))
+        assert o.n == 0 and o.num_levels == 0
+
+    def test_isolated_vertices_single_iteration(self):
+        from repro.graphs.builders import empty_graph
+        o = adg_ordering(empty_graph(10), eps=0.1)
+        assert o.num_levels == 1
+
+
+class TestApproximationGuarantee:
+    """Lemma 4: ADG yields a partial 2(1+eps)-approximate degeneracy order."""
+
+    @pytest.mark.parametrize("eps", [0.0, 0.01, 0.1, 0.5, 1.0])
+    def test_avg_variant_bound(self, eps):
+        for g in [gnm_random(120, 480, seed=1), chung_lu(200, 800, seed=2),
+                  grid_2d(10, 12), planted_kcore(100, 8, seed=3)]:
+            d = degeneracy(g)
+            o = adg_ordering(g, eps=eps)
+            k = adg_approx_factor(eps, "avg")
+            assert approximation_quality(g, o) <= np.ceil(k * d)
+
+    def test_median_variant_bound(self):
+        """Lemma 15: ADG-M yields a partial 4-approximate order."""
+        for g in [gnm_random(120, 480, seed=4), chung_lu(200, 800, seed=5),
+                  star(50), random_tree(100, seed=6)]:
+            d = degeneracy(g)
+            o = adg_m_ordering(g)
+            assert approximation_quality(g, o) <= 4 * max(d, 1)
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_bound_property(self, g):
+        if g.n == 0:
+            return
+        d = degeneracy(g)
+        o = adg_ordering(g, eps=0.1)
+        assert approximation_quality(g, o) <= np.ceil(2.2 * max(d, 0)) + (d == 0)
+
+    def test_clique_single_batch(self):
+        # In K_n every degree equals the average: one iteration removes all.
+        o = adg_ordering(complete_graph(10), eps=0.01)
+        assert o.num_levels == 1
+
+
+class TestIterationBound:
+    """Lemma 1: at most ceil(log n / log(1+eps)) + 1 iterations."""
+
+    @pytest.mark.parametrize("eps", [0.1, 0.5, 1.0])
+    def test_random_graphs(self, eps):
+        for seed in range(3):
+            g = gnm_random(300, 1200, seed=seed)
+            o = adg_ordering(g, eps=eps)
+            assert o.num_levels <= adg_iteration_bound(g.n, eps)
+
+    def test_kronecker(self):
+        g = kronecker(scale=10, edge_factor=8, seed=0)
+        o = adg_ordering(g, eps=0.01)
+        assert o.num_levels <= adg_iteration_bound(g.n, 0.01)
+
+    def test_larger_eps_fewer_iterations(self):
+        g = chung_lu(500, 2500, seed=7)
+        iters = [adg_ordering(g, eps=e).num_levels for e in [0.01, 0.3, 2.0]]
+        assert iters[0] >= iters[1] >= iters[2]
+
+    def test_adg_m_halves(self):
+        """Lemma 14: ADG-M does at most ceil(log2 n) + 1 iterations."""
+        for seed in range(3):
+            g = gnm_random(200, 800, seed=seed)
+            o = adg_m_ordering(g)
+            assert o.num_levels <= adg_m_iteration_bound(g.n)
+
+    def test_path_logarithmic_not_linear(self):
+        g = path_graph(256)
+        o = adg_ordering(g, eps=0.1)
+        assert o.num_levels <= 20  # SL would need ~n/2 sequential steps
+
+
+class TestWorkBounds:
+    def test_push_work_linear(self):
+        """Lemma 2: O(n + m) work in the CRCW setting."""
+        ratios = []
+        for scale in [8, 9, 10, 11]:
+            g = kronecker(scale=scale, edge_factor=8, seed=scale)
+            o = adg_ordering(g, eps=0.1)
+            ratios.append(o.cost.work / (g.n + 2 * g.m))
+        # work/(n+m) stays bounded as the graph grows
+        assert max(ratios) < 12
+        assert max(ratios) / min(ratios) < 2.5
+
+    def test_pull_costs_more_work(self, medium_powerlaw):
+        push = adg_ordering(medium_powerlaw, eps=0.1, update="push")
+        pull = adg_ordering(medium_powerlaw, eps=0.1, update="pull")
+        assert pull.cost.work > push.cost.work
+
+    def test_pull_marks_crew(self, small_random):
+        assert adg_ordering(small_random, update="pull").cost.crew
+        assert not adg_ordering(small_random, update="push").cost.crew
+
+    def test_depth_polylog(self):
+        g = kronecker(scale=11, edge_factor=8, seed=1)
+        o = adg_ordering(g, eps=0.1)
+        logn = np.log2(g.n)
+        assert o.cost.depth <= 40 * logn ** 2
+
+
+class TestUpdateVariants:
+    def test_push_pull_same_levels(self, small_random):
+        """Alg. 1 and Alg. 2 compute identical degree sequences."""
+        push = adg_ordering(small_random, eps=0.2, update="push", seed=0)
+        pull = adg_ordering(small_random, eps=0.2, update="pull", seed=0)
+        np.testing.assert_array_equal(push.levels, pull.levels)
+        np.testing.assert_array_equal(push.ranks, pull.ranks)
+
+    def test_cache_flag_does_not_change_result(self, small_random):
+        a = adg_ordering(small_random, eps=0.2, cache_degree_sums=True, seed=0)
+        b = adg_ordering(small_random, eps=0.2, cache_degree_sums=False, seed=0)
+        np.testing.assert_array_equal(a.levels, b.levels)
+
+
+class TestSortedBatches:
+    """ADG-O (Alg. 6): explicit within-batch ordering (SS V-A, V-B)."""
+
+    def test_total_order_valid(self, small_random):
+        o = adg_ordering(small_random, eps=0.1, sort_batches=True)
+        o.validate()
+        assert o.name == "ADG-O"
+
+    def test_same_levels_as_plain(self, small_random):
+        plain = adg_ordering(small_random, eps=0.1, seed=0)
+        opt = adg_ordering(small_random, eps=0.1, sort_batches=True, seed=0)
+        np.testing.assert_array_equal(plain.levels, opt.levels)
+
+    def test_within_batch_sorted_by_degree(self):
+        g = chung_lu(150, 600, seed=8)
+        o = adg_ordering(g, eps=0.5, sort_batches=True)
+        # within a level, lower residual degree = removed earlier = lower rank;
+        # check the first level, where residual degree equals full degree
+        lvl1 = np.flatnonzero(o.levels == 1)
+        order = lvl1[np.argsort(o.ranks[lvl1])]
+        deg = g.degrees
+        assert np.all(np.diff(deg[order]) >= 0)
+
+    @pytest.mark.parametrize("method", ["counting", "radix", "quick"])
+    def test_all_sort_methods_agree(self, method, small_random):
+        base = adg_ordering(small_random, eps=0.1, sort_batches=True,
+                            sort_method="counting", seed=0)
+        other = adg_ordering(small_random, eps=0.1, sort_batches=True,
+                             sort_method=method, seed=0)
+        np.testing.assert_array_equal(base.ranks, other.ranks)
+
+    def test_median_sorted(self, small_random):
+        o = adg_ordering(small_random, variant="median", sort_batches=True)
+        o.validate()
+        assert o.name == "ADG-M-O"
+
+
+class TestZooCoverage:
+    @pytest.mark.parametrize("g", graph_zoo(), ids=lambda g: g.name)
+    def test_adg_on_zoo(self, g):
+        o = adg_ordering(g, eps=0.1, seed=0)
+        o.validate()
+        if g.n:
+            d = degeneracy(g)
+            bound = np.ceil(2 * 1.1 * d)
+            assert approximation_quality(g, o) <= max(bound, 0) + (d == 0)

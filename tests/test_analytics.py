@@ -1,0 +1,144 @@
+"""Tests for structural analytics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.analytics import (
+    average_local_clustering,
+    bfs_distances,
+    degree_assortativity,
+    degree_histogram,
+    effective_diameter,
+    global_clustering,
+    triangle_count,
+    triangles_per_vertex,
+)
+from repro.graphs.builders import from_edges, to_networkx
+from repro.graphs.generators import (
+    complete_graph,
+    gnm_random,
+    grid_2d,
+    path_graph,
+    random_tree,
+    ring,
+    star,
+)
+
+from .conftest import graphs
+
+
+class TestTriangles:
+    def test_triangle(self):
+        g = from_edges([0, 1, 2], [1, 2, 0])
+        assert triangle_count(g) == 1
+
+    def test_clique(self):
+        # C(6,3) triangles in K_6
+        assert triangle_count(complete_graph(6)) == 20
+
+    def test_tree_has_none(self):
+        assert triangle_count(random_tree(40, seed=0)) == 0
+
+    def test_ring_has_none(self):
+        assert triangle_count(ring(10)) == 0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        for seed in range(3):
+            g = gnm_random(50, 200, seed=seed)
+            theirs = sum(nx.triangles(to_networkx(g)).values()) // 3
+            assert triangle_count(g) == theirs
+
+    @given(graphs(max_n=20, max_m=60))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_networkx_property(self, g):
+        import networkx as nx
+
+        theirs = sum(nx.triangles(to_networkx(g)).values()) // 3
+        assert triangle_count(g) == theirs
+
+    def test_per_vertex_sums_to_three_times_total(self):
+        g = gnm_random(40, 160, seed=1)
+        per = triangles_per_vertex(g)
+        assert per.sum() == 3 * triangle_count(g)
+
+    def test_per_vertex_matches_networkx(self):
+        import networkx as nx
+
+        g = gnm_random(30, 120, seed=2)
+        theirs = nx.triangles(to_networkx(g))
+        ours = triangles_per_vertex(g)
+        for v in range(g.n):
+            assert ours[v] == theirs[v]
+
+
+class TestClustering:
+    def test_clique_transitivity_one(self):
+        assert global_clustering(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_star_zero(self):
+        assert global_clustering(star(10)) == 0.0
+
+    def test_no_wedges(self):
+        g = from_edges([0], [1], n=2)
+        assert global_clustering(g) == 0.0
+
+    def test_local_matches_networkx(self):
+        import networkx as nx
+
+        g = gnm_random(40, 160, seed=3)
+        theirs = nx.average_clustering(to_networkx(g))
+        assert average_local_clustering(g) == pytest.approx(theirs)
+
+    def test_local_empty(self):
+        assert average_local_clustering(from_edges([], [], n=0)) == 0.0
+
+
+class TestDegreeStats:
+    def test_histogram(self):
+        g = star(4)
+        hist = degree_histogram(g)
+        assert hist[1] == 4 and hist[4] == 1
+
+    def test_histogram_empty(self):
+        np.testing.assert_array_equal(degree_histogram(from_edges([], [], n=0)),
+                                      [0])
+
+    def test_assortativity_regular_zero(self):
+        assert degree_assortativity(ring(12)) == 0.0
+
+    def test_star_disassortative(self):
+        assert degree_assortativity(star(10)) < -0.9
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = gnm_random(60, 240, seed=4)
+        theirs = nx.degree_assortativity_coefficient(to_networkx(g))
+        assert degree_assortativity(g) == pytest.approx(theirs, abs=1e-6)
+
+    def test_empty(self):
+        assert degree_assortativity(from_edges([], [], n=3)) == 0.0
+
+
+class TestDistances:
+    def test_path(self):
+        g = path_graph(6)
+        np.testing.assert_array_equal(bfs_distances(g, 0),
+                                      [0, 1, 2, 3, 4, 5])
+
+    def test_unreachable(self):
+        g = from_edges([0], [1], n=3)
+        d = bfs_distances(g, 0)
+        assert d[2] == -1
+
+    def test_effective_diameter_grid_larger_than_clique(self):
+        grid = grid_2d(10, 10)
+        clique = complete_graph(20)
+        assert effective_diameter(grid, samples=8) > \
+            effective_diameter(clique, samples=8)
+
+    def test_effective_diameter_empty(self):
+        assert effective_diameter(from_edges([], [], n=0)) == 0.0

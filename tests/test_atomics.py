@@ -1,0 +1,62 @@
+"""Tests for the DecrementAndFetch / Join semantics."""
+
+import numpy as np
+
+from repro.machine.costmodel import CostModel
+from repro.primitives.atomics import decrement_and_fetch, fetch_and_add
+
+
+class TestDecrementAndFetch:
+    def test_simple_release(self):
+        counters = np.array([1, 2, 1])
+        released = decrement_and_fetch(counters, np.array([0]))
+        np.testing.assert_array_equal(released, [0])
+        np.testing.assert_array_equal(counters, [0, 2, 1])
+
+    def test_duplicates_accumulate(self):
+        counters = np.array([3])
+        released = decrement_and_fetch(counters, np.array([0, 0, 0]))
+        np.testing.assert_array_equal(released, [0])
+        assert counters[0] == 0
+
+    def test_partial_decrement_no_release(self):
+        counters = np.array([5])
+        released = decrement_and_fetch(counters, np.array([0, 0]))
+        assert released.size == 0
+        assert counters[0] == 3
+
+    def test_exactly_once_release(self):
+        counters = np.array([1])
+        first = decrement_and_fetch(counters, np.array([0]))
+        second = decrement_and_fetch(counters, np.array([0]))
+        np.testing.assert_array_equal(first, [0])
+        assert second.size == 0  # already released, never again
+
+    def test_empty_batch(self):
+        counters = np.array([1, 1])
+        released = decrement_and_fetch(counters, np.array([], dtype=np.int64))
+        assert released.size == 0
+        np.testing.assert_array_equal(counters, [1, 1])
+
+    def test_multiple_targets(self):
+        counters = np.array([1, 2, 1, 0])
+        released = decrement_and_fetch(counters, np.array([0, 1, 2, 1]))
+        np.testing.assert_array_equal(np.sort(released), [0, 1, 2])
+
+    def test_cost_charged(self):
+        c = CostModel()
+        counters = np.array([10])
+        decrement_and_fetch(counters, np.array([0, 0, 0]), cost=c)
+        assert c.work == 3
+
+
+class TestFetchAndAdd:
+    def test_adds(self):
+        counters = np.array([0, 0])
+        fetch_and_add(counters, np.array([0, 0, 1]), amount=2)
+        np.testing.assert_array_equal(counters, [4, 2])
+
+    def test_empty(self):
+        counters = np.array([7])
+        fetch_and_add(counters, np.array([], dtype=np.int64))
+        assert counters[0] == 7

@@ -1,0 +1,76 @@
+"""Tests for the report renderers feeding EXPERIMENTS.md."""
+
+import pytest
+
+from repro.bench.epsilon import epsilon_sweep
+from repro.bench.harness import run_suite
+from repro.bench.memory import memory_pressure
+from repro.bench.report import (
+    epsilon_report,
+    fig1_quality_report,
+    fig1_runtime_report,
+    fig5_profile_report,
+    memory_report,
+    scaling_report,
+    table3_report,
+)
+from repro.bench.scaling import strong_scaling
+from repro.graphs.generators import chung_lu, gnm_random
+
+
+@pytest.fixture(scope="module")
+def suite_result():
+    graphs = {
+        "rA": gnm_random(100, 400, seed=0, name="rA"),
+        "rB": chung_lu(120, 480, seed=1, name="rB"),
+    }
+    return run_suite(graphs, algorithms=["JP-R", "JP-ADG", "ITR"],
+                     eps=0.01, seed=0)
+
+
+@pytest.fixture(scope="module")
+def bench_graph():
+    return chung_lu(150, 600, seed=2, name="bg")
+
+
+class TestSuiteReports:
+    def test_runtime_report_has_all_rows(self, suite_result):
+        out = fig1_runtime_report(suite_result)
+        assert len(out.splitlines()) == 2 + 6  # header + sep + 6 records
+        assert "reorder_work" in out
+
+    def test_quality_report_normalized(self, suite_result):
+        out = fig1_quality_report(suite_result)
+        assert "| JP-R | rA | " in out.replace("  ", " ") or "JP-R" in out
+        # the baseline rows are exactly 1
+        for line in out.splitlines():
+            if "| JP-R |" in line:
+                assert line.rstrip().endswith("| 1.0 |") or \
+                    line.rstrip().endswith("| 1 |")
+
+    def test_table3_within_bound_column(self, suite_result):
+        out = table3_report(suite_result)
+        assert "True" in out and "False" not in out
+
+    def test_profile_report(self, suite_result):
+        out = fig5_profile_report(suite_result)
+        assert "tau=1" in out and "auc" in out
+
+
+class TestPointReports:
+    def test_scaling_report(self, bench_graph):
+        pts = strong_scaling(bench_graph, ["JP-R"], [1, 4], seed=0)
+        out = scaling_report(pts)
+        assert "speedup" in out
+        assert len(out.splitlines()) == 2 + 2  # header, sep, 2 rows
+
+    def test_epsilon_report(self, bench_graph):
+        pts = epsilon_sweep(bench_graph, [0.01, 1.0], seed=0)
+        out = epsilon_report(pts)
+        assert "adg_iters" in out
+
+    def test_memory_report(self, bench_graph):
+        pts = memory_pressure(bench_graph, ["JP-R", "ITR"], seed=0)
+        out = memory_report(pts)
+        assert "miss_proxy" in out
+        assert "ITR" in out

@@ -1,0 +1,112 @@
+"""Tests for the theoretical-bound formulas (Tables II/III)."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    DEPTH_FORMULAS,
+    QUALITY_FORMULAS,
+    GraphParams,
+    adg_approx_factor,
+    adg_iteration_bound,
+    adg_m_iteration_bound,
+    depth_bound,
+    quality_bound,
+    sqrt_m_lower_bound_holds,
+    work_bound,
+)
+
+
+@pytest.fixture()
+def params():
+    return GraphParams(n=1024, m=8192, max_degree=100, degeneracy=10)
+
+
+class TestQualityBound:
+    def test_jp_adg(self, params):
+        assert quality_bound("JP-ADG", params, eps=0.0) == 21
+        assert quality_bound("JP-ADG", params, eps=0.5) == 31
+
+    def test_jp_adg_m(self, params):
+        assert quality_bound("JP-ADG-M", params) == 41
+
+    def test_dec_adg(self, params):
+        assert quality_bound("DEC-ADG", params, eps=6.0) == 80
+
+    def test_dec_adg_itr(self, params):
+        assert quality_bound("DEC-ADG-ITR", params, eps=0.01) == \
+            math.ceil(2 * 1.01 * 10) + 1
+
+    def test_jp_sl(self, params):
+        assert quality_bound("JP-SL", params) == 11
+
+    def test_default_delta_plus_one(self, params):
+        assert quality_bound("JP-R", params) == 101
+        assert quality_bound("ITR", params) == 101
+
+    def test_ceiling_applied(self):
+        p = GraphParams(n=10, m=20, max_degree=5, degeneracy=3)
+        # 2 * 1.01 * 3 = 6.06 -> ceil 7 -> +1 = 8
+        assert quality_bound("JP-ADG", p, eps=0.01) == 8
+
+
+class TestIterationBounds:
+    def test_adg(self):
+        expected = math.ceil(math.log(1024) / math.log(2.0)) + 1
+        assert adg_iteration_bound(1024, 1.0) == expected
+
+    def test_adg_small_n(self):
+        assert adg_iteration_bound(1, 0.5) == 1
+
+    def test_adg_zero_eps_degrades(self):
+        assert adg_iteration_bound(100, 0.0) == 100
+
+    def test_adg_m(self):
+        assert adg_m_iteration_bound(1024) == 11
+
+    def test_monotone_in_eps(self):
+        assert adg_iteration_bound(10_000, 0.01) > \
+            adg_iteration_bound(10_000, 1.0)
+
+
+class TestApproxFactor:
+    def test_avg(self):
+        assert adg_approx_factor(0.5, "avg") == 3.0
+
+    def test_median(self):
+        assert adg_approx_factor(99.0, "median") == 4.0
+
+    def test_bad_variant(self):
+        with pytest.raises(ValueError):
+            adg_approx_factor(0.1, "nope")
+
+
+class TestWorkDepth:
+    def test_work_default(self, params):
+        assert work_bound("JP-ADG", params) == params.n + 2 * params.m
+
+    def test_work_crew_penalty(self, params):
+        assert work_bound("JP-ADG", params, crew=True) == \
+            2 * params.m + params.n * params.degeneracy
+
+    def test_depth_adg_polylog(self, params):
+        assert depth_bound("ADG", params) == pytest.approx(100.0)  # log^2(1024)
+
+    def test_depth_sequential_algorithms_linear(self, params):
+        assert depth_bound("JP-SL", params) == params.n
+
+    def test_depth_jp_adg_smaller_than_sl_for_small_d(self):
+        # At realistic scale (n = 2^20, d = 10) the polylog-times-d depth
+        # of JP-ADG is far below SL's Omega(n).
+        big = GraphParams(n=1 << 20, m=1 << 23, max_degree=10_000,
+                          degeneracy=10)
+        assert depth_bound("JP-ADG", big) < depth_bound("JP-SL", big)
+
+    def test_lemma13(self, params):
+        assert sqrt_m_lower_bound_holds(params)
+
+    def test_formula_strings_exist(self):
+        assert "JP-ADG" in DEPTH_FORMULAS
+        assert "JP-ADG" in QUALITY_FORMULAS
+        assert "DEC-ADG" in DEPTH_FORMULAS

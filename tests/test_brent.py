@@ -1,0 +1,72 @@
+"""Tests for the Brent scheduling simulation."""
+
+import pytest
+
+from repro.machine.brent import SimulatedTime, scaling_curve, simulate
+from repro.machine.costmodel import CostModel
+
+
+def make_cost(work: int, depth: int) -> CostModel:
+    c = CostModel()
+    c.round(work, depth)
+    return c
+
+
+class TestSimulate:
+    def test_single_processor(self):
+        t = simulate(make_cost(100, 10), 1)
+        assert t.time == 110.0
+
+    def test_many_processors_floor_at_depth(self):
+        t = simulate(make_cost(100, 10), 1_000_000)
+        assert t.time == pytest.approx(10.0, rel=1e-3)
+
+    def test_bounds_ordering(self):
+        t = simulate(make_cost(100, 10), 4)
+        assert t.lower_bound <= t.time
+        assert t.lower_bound == 25.0
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            simulate(make_cost(1, 1), 0)
+
+    def test_speedup_monotone(self):
+        cost = make_cost(10_000, 20)
+        curve = scaling_curve(cost, [1, 2, 4, 8, 16])
+        speedups = [p.speedup_vs_serial for p in curve]
+        assert speedups == sorted(speedups)
+        assert speedups[0] == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_processors(self):
+        cost = make_cost(10_000, 20)
+        for p in [1, 2, 4, 8, 32]:
+            assert simulate(cost, p).speedup_vs_serial <= p + 1e-9
+
+    def test_efficiency_in_unit_interval(self):
+        cost = make_cost(5_000, 100)
+        for p in [1, 3, 17]:
+            eff = simulate(cost, p).efficiency
+            assert 0 < eff <= 1.0 + 1e-9
+
+    def test_idle_fraction_zero_on_one_processor_pure_work(self):
+        t = SimulatedTime(processors=1, work=100, depth=0)
+        assert t.idle_fraction == pytest.approx(0.0)
+
+    def test_idle_fraction_grows_with_processors(self):
+        cost = make_cost(1_000, 100)
+        idles = [simulate(cost, p).idle_fraction for p in [1, 4, 16, 64]]
+        assert idles == sorted(idles)
+
+    def test_depth_dominated_computation_does_not_scale(self):
+        cost = make_cost(100, 100)
+        t1, t32 = simulate(cost, 1), simulate(cost, 32)
+        assert t32.speedup_vs_serial < 2.0
+        assert t1.time == 200.0
+
+
+class TestScalingCurve:
+    def test_length_and_order(self):
+        curve = scaling_curve(make_cost(100, 1), [1, 2, 4])
+        assert [p.processors for p in curve] == [1, 2, 4]
+        times = [p.time for p in curve]
+        assert times == sorted(times, reverse=True)

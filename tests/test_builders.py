@@ -1,0 +1,124 @@
+"""Tests for graph builders and conversions."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.builders import (
+    empty_graph,
+    from_adjacency,
+    from_edge_list,
+    from_edges,
+    from_networkx,
+    relabel,
+    to_networkx,
+)
+
+
+class TestFromEdges:
+    def test_symmetrizes(self):
+        g = from_edges([0], [1])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.m == 1
+
+    def test_dedupes_parallel_edges(self):
+        g = from_edges([0, 0, 1], [1, 1, 0])
+        assert g.m == 1
+
+    def test_drops_self_loops(self):
+        g = from_edges([0, 1], [0, 1], n=2)
+        assert g.m == 0
+
+    def test_explicit_n(self):
+        g = from_edges([0], [1], n=10)
+        assert g.n == 10
+
+    def test_inferred_n(self):
+        g = from_edges([0, 5], [1, 2])
+        assert g.n == 6
+
+    def test_id_exceeds_n_raises(self):
+        with pytest.raises(ValueError):
+            from_edges([0], [5], n=3)
+
+    def test_negative_id_raises(self):
+        with pytest.raises(ValueError):
+            from_edges([-1], [0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            from_edges([0, 1], [1])
+
+    def test_empty_input(self):
+        g = from_edges([], [], n=4)
+        assert g.n == 4 and g.m == 0
+
+    def test_rows_sorted(self):
+        g = from_edges([5, 5, 5], [3, 1, 4], n=6)
+        np.testing.assert_array_equal(g.neighbors(5), [1, 3, 4])
+
+
+class TestFromEdgeList:
+    def test_basic(self):
+        g = from_edge_list([(0, 1), (1, 2)])
+        assert g.m == 2
+
+    def test_empty(self):
+        g = from_edge_list([], n=3)
+        assert g.n == 3 and g.m == 0
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            from_edge_list([(0, 1, 2)])
+
+
+class TestFromAdjacency:
+    def test_basic(self):
+        g = from_adjacency([[1, 2], [0], [0]])
+        assert g.n == 3 and g.m == 2
+
+    def test_asymmetric_input_symmetrized(self):
+        g = from_adjacency([[1], [], []])
+        assert g.has_edge(1, 0)
+
+
+class TestNetworkxRoundtrip:
+    def test_roundtrip(self):
+        import networkx as nx
+
+        nxg = nx.karate_club_graph()
+        g = from_networkx(nxg)
+        assert g.n == nxg.number_of_nodes()
+        assert g.m == nxg.number_of_edges()
+        back = to_networkx(g)
+        assert back.number_of_edges() == nxg.number_of_edges()
+
+    def test_empty_networkx(self):
+        import networkx as nx
+
+        g = from_networkx(nx.empty_graph(5))
+        assert g.n == 5 and g.m == 0
+
+
+class TestRelabel:
+    def test_identity(self):
+        g = from_edges([0, 1], [1, 2])
+        h = relabel(g, np.array([0, 1, 2]))
+        assert h.m == g.m
+
+    def test_permutation_preserves_structure(self):
+        g = from_edges([0, 1], [1, 2])
+        h = relabel(g, np.array([2, 0, 1]))
+        assert h.m == g.m
+        assert h.has_edge(2, 0)  # old (0,1)
+        assert h.has_edge(0, 1)  # old (1,2)
+
+    def test_bad_perm_raises(self):
+        g = from_edges([0], [1])
+        with pytest.raises(ValueError):
+            relabel(g, np.array([0, 0]))
+
+
+def test_empty_graph():
+    g = empty_graph(7)
+    assert g.n == 7 and g.m == 0
+    g.validate()

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs.generators import gnm_random
+from repro.graphs.io import save_npz, write_edge_list, write_metis
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    g = gnm_random(60, 200, seed=1, name="cli_graph")
+    path = tmp_path / "g.txt"
+    write_edge_list(g, path)
+    return str(path)
+
+
+class TestColorCommand:
+    def test_generated_graph(self, capsys):
+        assert main(["color", "--gen", "gnm:200,600", "--algorithm",
+                     "JP-ADG", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["algorithm"] == "JP-ADG"
+        assert out["colors"] > 0
+
+    def test_graph_file(self, graph_file, capsys):
+        assert main(["color", "--graph", graph_file, "--algorithm",
+                     "ITR", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["colors"] > 0
+
+    def test_table_output(self, capsys):
+        assert main(["color", "--gen", "grid:10,10"]) == 0
+        assert "colors" in capsys.readouterr().out
+
+    def test_output_file(self, tmp_path, capsys):
+        dest = tmp_path / "colors.txt"
+        assert main(["color", "--gen", "gnm:50,150", "--output",
+                     str(dest)]) == 0
+        colors = np.loadtxt(dest, dtype=np.int64)
+        assert colors.size == 50
+        assert colors.min() >= 1
+
+    def test_every_generator(self, capsys):
+        for spec in ["kronecker:8,4", "gnm:100,300", "chunglu:100,300",
+                     "grid:8,9", "ba:100,3"]:
+            assert main(["color", "--gen", spec, "--json"]) == 0
+            assert json.loads(capsys.readouterr().out)["colors"] >= 1
+
+    def test_unknown_generator(self):
+        with pytest.raises(SystemExit):
+            main(["color", "--gen", "bogus:1"])
+
+    def test_missing_graph(self):
+        with pytest.raises(SystemExit):
+            main(["color"])
+
+    def test_npz_and_metis_inputs(self, tmp_path, capsys):
+        g = gnm_random(30, 90, seed=2, name="x")
+        npz = tmp_path / "g.npz"
+        metis = tmp_path / "g.graph"
+        save_npz(g, npz)
+        write_metis(g, metis)
+        for path in [str(npz), str(metis)]:
+            assert main(["color", "--graph", path, "--json"]) == 0
+            assert json.loads(capsys.readouterr().out)["colors"] >= 1
+
+
+class TestOrderCommand:
+    def test_adg(self, capsys):
+        assert main(["order", "--gen", "gnm:150,600", "--ordering",
+                     "ADG", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["ordering"] == "ADG"
+        assert out["approx_factor"] <= 2.02 * 1.5
+
+    def test_sl_no_factor(self, capsys):
+        assert main(["order", "--gen", "gnm:100,300", "--ordering",
+                     "FF", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["approx_factor"] == "n/a"
+
+
+class TestStatsCommand:
+    def test_json(self, capsys):
+        assert main(["stats", "--gen", "grid:12,12", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["n"] == 144
+        assert out["degeneracy"] == 2
+
+
+class TestSuiteCommand:
+    def test_extra_suite_subset(self, capsys):
+        assert main(["suite", "--suite", "extra", "--algorithms",
+                     "JP-ADG,JP-R", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 6  # 3 graphs x 2 algorithms
+        assert all(r["colors"] <= r["quality_bound"] for r in rows)

@@ -1,0 +1,31 @@
+"""Test for the `reproduce` CLI command (on a trimmed configuration)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.slow
+def test_reproduce_writes_all_experiments(tmp_path, monkeypatch):
+    """The one-shot reproduction driver regenerates every experiment file.
+
+    Uses the real datasets; the whole run takes tens of seconds, so the
+    test is marked slow but kept in the default suite — it is the
+    end-to-end check that the release entry point works.
+    """
+    outdir = tmp_path / "results"
+    assert main(["reproduce", "--outdir", str(outdir)]) == 0
+    expected = [
+        "fig1_runtime_small.md", "fig1_quality_small.md",
+        "table3_algorithms.md", "fig5_quality_profile.md",
+        "fig2_strong_scaling.md", "fig2_weak_scaling.md",
+        "fig3_epsilon.md", "fig4_memory.md", "index.md",
+    ]
+    for name in expected:
+        path = outdir / name
+        assert path.exists(), name
+        body = path.read_text()
+        assert body.startswith("#")
+        assert "| --- |" in body  # a rendered markdown table

@@ -1,0 +1,61 @@
+"""Tests for the programmatic Table III builder."""
+
+import pytest
+
+from repro.analysis.comparison import (
+    CLASS_OF,
+    OURS,
+    build_comparison,
+    verdict_summary,
+)
+from repro.coloring.registry import ALGORITHMS
+from repro.graphs.generators import chung_lu
+
+
+@pytest.fixture(scope="module")
+def rows():
+    g = chung_lu(400, 2000, exponent=2.3, seed=0, name="cmp")
+    return build_comparison(g, eps=0.01, seed=0)
+
+
+class TestBuildComparison:
+    def test_every_algorithm_present(self, rows):
+        assert {r.algorithm for r in rows} == set(ALGORITHMS)
+
+    def test_all_within_bounds(self, rows):
+        for r in rows:
+            assert r.within_bound, r.algorithm
+
+    def test_sorted_by_class_then_quality(self, rows):
+        keys = [(r.klass, r.measured_colors) for r in rows]
+        assert keys == sorted(keys)
+
+    def test_ours_flagged(self, rows):
+        ours = {r.algorithm for r in rows if r.ours}
+        assert ours == OURS & set(ALGORITHMS)
+
+    def test_formulas_attached(self, rows):
+        jp_adg = next(r for r in rows if r.algorithm == "JP-ADG")
+        assert "2(1+eps)d" in jp_adg.quality_formula
+        assert "log" in jp_adg.depth_formula
+
+    def test_as_dict_keys(self, rows):
+        d = rows[0].as_dict()
+        assert {"algorithm", "class", "colors", "bound", "within",
+                "work/(n+m)", "depth"} <= set(d)
+
+    def test_subset_selection(self):
+        g = chung_lu(100, 400, seed=1)
+        rows = build_comparison(g, algorithms=["JP-R", "JP-ADG"])
+        assert len(rows) == 2
+
+
+class TestVerdicts:
+    def test_headline_verdicts_hold(self, rows):
+        v = verdict_summary(rows)
+        assert v["all_within_bounds"]
+        assert v["ours_work_efficient"]
+
+    def test_class_taxonomy_covers_registry(self):
+        for name in ALGORITHMS:
+            assert name in CLASS_OF, name

@@ -1,0 +1,86 @@
+"""Tests for ordering composition (the SS IV-E parallelism-quality dial)."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.jp import jp
+from repro.coloring.verify import assert_valid_coloring
+from repro.graphs.generators import chung_lu, gnm_random
+from repro.ordering.composed import adg_with_tiebreak, compose, convergence_gap
+from repro.ordering.registry import get_ordering
+
+
+class TestCompose:
+    def test_total_order(self, small_random):
+        o = adg_with_tiebreak(small_random, eps=0.1, tiebreak="LF", seed=0)
+        o.validate()
+        assert o.name == "ADG-LF"
+
+    def test_primary_levels_dominate(self, small_random):
+        o = adg_with_tiebreak(small_random, eps=0.1, tiebreak="LF", seed=0)
+        assert o.levels is not None
+        # a higher ADG level always outranks a lower one regardless of LF
+        order = np.argsort(o.ranks)
+        lv = o.levels[order]
+        assert np.all(np.diff(lv) >= 0)
+
+    def test_secondary_breaks_ties(self, small_random):
+        deg = small_random.degrees
+        o = adg_with_tiebreak(small_random, eps=0.5, tiebreak="LF", seed=0)
+        # within a level, larger degree = higher rank (LF semantics)
+        for level in range(1, o.num_levels + 1):
+            verts = np.flatnonzero(o.levels == level)
+            if verts.size < 2:
+                continue
+            by_rank = verts[np.argsort(-o.ranks[verts])]
+            assert np.all(np.diff(deg[by_rank]) <= 0)
+
+    def test_mismatched_sizes_raise(self, small_random):
+        a = get_ordering("R", small_random, seed=0)
+        from repro.graphs.generators import ring
+        b = get_ordering("R", ring(5), seed=0)
+        with pytest.raises(ValueError):
+            compose(a, b)
+
+    def test_cost_merged(self, small_random):
+        o = adg_with_tiebreak(small_random, eps=0.1, tiebreak="LLF", seed=0)
+        assert o.cost.work > 0
+
+
+class TestColoringWithComposites:
+    @pytest.mark.parametrize("tiebreak", ["R", "LF", "LLF", "FF"])
+    def test_valid_coloring(self, tiebreak, small_random):
+        o = adg_with_tiebreak(small_random, eps=0.1, tiebreak=tiebreak,
+                              seed=0)
+        res = jp(small_random, o)
+        assert_valid_coloring(small_random, res.colors)
+
+    def test_quality_bound_independent_of_tiebreak(self):
+        """Lemma 6 only needs the level structure: any tie-break keeps
+        the 2(1+eps)d + 1 guarantee."""
+        from repro.graphs.properties import degeneracy
+        g = gnm_random(150, 600, seed=1)
+        d = degeneracy(g)
+        for tiebreak in ["R", "LF", "LLF"]:
+            o = adg_with_tiebreak(g, eps=0.1, tiebreak=tiebreak, seed=0)
+            res = jp(g, o)
+            assert res.num_colors <= np.ceil(2.2 * d) + 1, tiebreak
+
+
+class TestConvergence:
+    def test_gap_shrinks_with_eps(self):
+        """eps -> infinity collapses ADG to one level: the composite
+        converges to the pure tie-break order (SS IV-E)."""
+        g = chung_lu(300, 1200, seed=2)
+        gaps = [convergence_gap(g, eps, tiebreak="LF", seed=0)
+                for eps in [0.01, 1.0, 100.0]]
+        assert gaps[0] >= gaps[1] >= gaps[2]
+
+    def test_huge_eps_converges_exactly(self):
+        g = gnm_random(100, 400, seed=3)
+        # with eps large enough everything is removed in iteration 1
+        assert convergence_gap(g, 1e9, tiebreak="LF", seed=0) == 0.0
+
+    def test_empty_graph(self):
+        from repro.graphs.builders import empty_graph
+        assert convergence_gap(empty_graph(0), 1.0) == 0.0

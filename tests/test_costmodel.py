@@ -1,0 +1,138 @@
+"""Tests for the work-depth cost model."""
+
+import pytest
+
+from repro.machine.costmodel import (
+    CostModel,
+    NullCostModel,
+    ensure_cost,
+    log2_ceil,
+)
+
+
+class TestLog2Ceil:
+    @pytest.mark.parametrize("k,expected", [
+        (0, 0), (1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4),
+        (1024, 10), (1025, 11),
+    ])
+    def test_values(self, k, expected):
+        assert log2_ceil(k) == expected
+
+    def test_fractional(self):
+        assert log2_ceil(2.5) == 2
+
+
+class TestCostModel:
+    def test_starts_empty(self):
+        c = CostModel()
+        assert c.work == 0 and c.depth == 0
+
+    def test_round(self):
+        c = CostModel()
+        c.round(10, 3)
+        c.round(5)
+        assert c.work == 15
+        assert c.depth == 4
+
+    def test_parallel_for(self):
+        c = CostModel()
+        c.parallel_for(100)
+        assert c.work == 100 and c.depth == 1
+
+    def test_parallel_for_per_item(self):
+        c = CostModel()
+        c.parallel_for(10, per_item_work=3)
+        assert c.work == 30 and c.depth == 3
+
+    def test_parallel_for_zero_is_noop(self):
+        c = CostModel()
+        c.parallel_for(0)
+        assert c.work == 0 and c.depth == 0
+
+    def test_reduce_log_depth(self):
+        c = CostModel()
+        c.reduce(1024)
+        assert c.work == 1024 and c.depth == 10
+
+    def test_prefix_sum(self):
+        c = CostModel()
+        c.prefix_sum(8)
+        assert c.work == 16 and c.depth == 6
+
+    def test_scatter_crcw_constant_depth(self):
+        c = CostModel(crew=False)
+        c.scatter_decrement(100, max_collisions=50)
+        assert c.depth == 1
+
+    def test_scatter_crew_combining_tree(self):
+        c = CostModel(crew=True)
+        c.scatter_decrement(100, max_collisions=64)
+        assert c.depth == 6
+
+    def test_integer_sort_linear_work(self):
+        c = CostModel()
+        c.integer_sort(1000, key_range=100)
+        assert c.work == 3000
+
+    def test_phases(self):
+        c = CostModel()
+        with c.phase("a"):
+            c.round(5, 2)
+        with c.phase("b"):
+            c.round(3, 1)
+        snap = c.snapshot()
+        assert snap["a"] == {"work": 5, "depth": 2, "rounds": 1}
+        assert snap["b"] == {"work": 3, "depth": 1, "rounds": 1}
+        assert snap["<total>"]["work"] == 8
+
+    def test_nested_phase_attributes_to_inner(self):
+        c = CostModel()
+        with c.phase("outer"):
+            with c.phase("inner"):
+                c.round(7, 1)
+        assert c.snapshot()["inner"]["work"] == 7
+        assert "outer" not in c.phases
+
+    def test_toplevel_phase(self):
+        c = CostModel()
+        c.round(2, 1)
+        assert c.snapshot()["<toplevel>"]["work"] == 2
+
+    def test_merge(self):
+        a = CostModel()
+        b = CostModel()
+        with a.phase("x"):
+            a.round(1, 1)
+        with b.phase("x"):
+            b.round(2, 2)
+        with b.phase("y"):
+            b.round(3, 3)
+        a.merge(b)
+        assert a.work == 6 and a.depth == 6
+        assert a.phases["x"].work == 3
+        assert a.phases["y"].work == 3
+
+
+class TestNullCostModel:
+    def test_records_nothing(self):
+        c = NullCostModel()
+        c.round(100, 100)
+        c.parallel_for(5)
+        assert c.work == 0 and c.depth == 0
+
+    def test_merge_noop(self):
+        c = NullCostModel()
+        other = CostModel()
+        other.round(5, 5)
+        c.merge(other)
+        assert c.work == 0
+
+
+class TestEnsureCost:
+    def test_passthrough(self):
+        c = CostModel()
+        assert ensure_cost(c) is c
+
+    def test_fresh(self):
+        c = ensure_cost(None, crew=True)
+        assert isinstance(c, CostModel) and c.crew

@@ -1,0 +1,135 @@
+"""Tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.builders import from_edges
+from repro.graphs.csr import CSRGraph
+
+from .conftest import graphs
+
+
+def triangle() -> CSRGraph:
+    return from_edges([0, 1, 2], [1, 2, 0], name="triangle")
+
+
+class TestShape:
+    def test_counts(self):
+        g = triangle()
+        assert g.n == 3 and g.m == 3
+
+    def test_degrees(self):
+        g = from_edges([0, 0, 0], [1, 2, 3])
+        np.testing.assert_array_equal(g.degrees, [3, 1, 1, 1])
+        assert g.max_degree == 3
+        assert g.min_degree == 1
+        assert g.avg_degree == pytest.approx(1.5)
+
+    def test_empty_graph_stats(self):
+        g = CSRGraph(indptr=np.zeros(1, dtype=np.int64),
+                     indices=np.empty(0, dtype=np.int64))
+        assert g.n == 0 and g.m == 0
+        assert g.max_degree == 0 and g.avg_degree == 0.0
+
+    def test_degrees_returns_fresh_array(self):
+        g = triangle()
+        d = g.degrees
+        d[0] = 99
+        assert g.degrees[0] == 2
+
+
+class TestAccess:
+    def test_neighbors_sorted(self):
+        g = from_edges([3, 3, 3], [0, 2, 1])
+        np.testing.assert_array_equal(g.neighbors(3), [0, 1, 2])
+
+    def test_degree_single(self):
+        g = triangle()
+        assert g.degree(1) == 2
+
+    def test_has_edge(self):
+        g = triangle()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 0)
+
+    def test_has_edge_absent(self):
+        g = from_edges([0], [1], n=4)
+        assert not g.has_edge(2, 3)
+        assert not g.has_edge(0, 3)
+
+    def test_batch_neighbors(self):
+        g = from_edges([0, 0, 1], [1, 2, 2])
+        seg, nbrs = g.batch_neighbors(np.array([0, 2]))
+        np.testing.assert_array_equal(seg, [0, 0, 1, 1])
+        np.testing.assert_array_equal(nbrs, [1, 2, 0, 1])
+
+    def test_batch_neighbors_empty_batch(self):
+        g = triangle()
+        seg, nbrs = g.batch_neighbors(np.array([], dtype=np.int64))
+        assert seg.size == 0 and nbrs.size == 0
+
+    def test_batch_neighbors_isolated(self):
+        g = from_edges([0], [1], n=3)
+        seg, nbrs = g.batch_neighbors(np.array([2]))
+        assert nbrs.size == 0
+
+    def test_edge_array_length(self):
+        g = triangle()
+        src, dst = g.edge_array()
+        assert src.size == 2 * g.m
+
+    def test_undirected_edges_unique(self):
+        g = triangle()
+        u, v = g.undirected_edges()
+        assert u.size == g.m
+        assert np.all(u < v)
+
+
+class TestValidate:
+    def test_valid_graph_passes(self):
+        triangle().validate()
+
+    def test_bad_indptr_start(self):
+        g = CSRGraph(indptr=np.array([1, 2]), indices=np.array([0]))
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_decreasing_indptr(self):
+        g = CSRGraph(indptr=np.array([0, 2, 1]),
+                     indices=np.array([1, 0]))
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_indptr_tail_mismatch(self):
+        g = CSRGraph(indptr=np.array([0, 1, 5]), indices=np.array([1, 0]))
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_out_of_range_neighbor(self):
+        g = CSRGraph(indptr=np.array([0, 1, 2]), indices=np.array([9, 0]))
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_self_loop_detected(self):
+        g = CSRGraph(indptr=np.array([0, 1, 2]), indices=np.array([0, 1]))
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_asymmetric_detected(self):
+        g = CSRGraph(indptr=np.array([0, 1, 1, 2]),
+                     indices=np.array([1, 0]))
+        with pytest.raises(ValueError):
+            g.validate()
+
+    def test_unsorted_row_detected(self):
+        g = CSRGraph(indptr=np.array([0, 2, 3, 4]),
+                     indices=np.array([2, 1, 0, 0]))
+        with pytest.raises(ValueError):
+            g.validate()
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_builders_always_produce_valid_graphs(self, g):
+        g.validate()

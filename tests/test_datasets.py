@@ -1,0 +1,74 @@
+"""Tests for the dataset stand-in registry."""
+
+import pytest
+
+from repro.bench.datasets import (
+    ALL_SUITES,
+    EXTRA_SUITE,
+    LARGE_SUITE,
+    SMALL_SUITE,
+    clear_cache,
+    dataset,
+    suite,
+)
+
+
+class TestSpecs:
+    def test_small_suite_has_ten(self):
+        assert len(SMALL_SUITE) == 10
+
+    def test_large_suite_has_ten(self):
+        assert len(LARGE_SUITE) == 10
+
+    def test_keys_unique_across_suites(self):
+        assert len(ALL_SUITES) == \
+            len(SMALL_SUITE) + len(LARGE_SUITE) + len(EXTRA_SUITE)
+
+    def test_paper_sizes_recorded(self):
+        spec = SMALL_SUITE["h_bai"]
+        assert spec.paper_n == 2_100_000
+        assert spec.paper_m == 17_700_000
+
+    def test_families_labeled(self):
+        assert SMALL_SUITE["v_skt"].family == "topology"
+        assert EXTRA_SUITE["v_usa"].family == "road"
+
+
+class TestBuild:
+    def test_dataset_builds_valid(self):
+        g = dataset("m_wta")
+        g.validate()
+        assert g.name == "m_wta"
+
+    def test_cache_returns_same_object(self):
+        a = dataset("m_wta")
+        b = dataset("m_wta")
+        assert a is b
+
+    def test_clear_cache(self):
+        a = dataset("m_wta")
+        clear_cache()
+        b = dataset("m_wta")
+        assert a is not b
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            dataset("nope")
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(ValueError):
+            suite("nope")
+
+    def test_road_standin_mesh_like(self):
+        from repro.graphs.properties import degeneracy
+        g = dataset("v_usa")
+        assert degeneracy(g) <= 4  # road networks have tiny degeneracy
+
+    def test_social_standin_is_skewed(self):
+        g = dataset("s_pok")
+        assert g.max_degree > 5 * g.avg_degree
+
+    def test_sizes_laptop_scale(self):
+        for key in ["m_wta", "s_flx", "v_skt"]:
+            g = dataset(key)
+            assert 1_000 <= g.n <= 200_000

@@ -1,0 +1,96 @@
+"""Tests for DEC-ADG and DEC-ADG-M (paper Alg. 4, Claim 2)."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.dec_adg import dec_adg, dec_adg_m
+from repro.coloring.verify import assert_valid_coloring
+from repro.graphs.generators import (
+    chung_lu,
+    complete_graph,
+    gnm_random,
+    grid_2d,
+    star,
+)
+from repro.graphs.properties import degeneracy
+
+from .conftest import graph_zoo
+
+
+class TestDecAdg:
+    def test_valid(self, small_random):
+        res = dec_adg(small_random, eps=6.0, seed=0)
+        assert_valid_coloring(small_random, res.colors)
+
+    def test_zoo_validity(self):
+        for g in graph_zoo():
+            res = dec_adg(g, eps=6.0, seed=2)
+            assert_valid_coloring(g, res.colors)
+
+    @pytest.mark.parametrize("eps", [5.0, 6.0, 8.0])
+    def test_quality_bound_claim2(self, eps):
+        """Claim 2: at most (2 + eps) d colors for 4 < eps <= 8."""
+        for seed in range(4):
+            g = gnm_random(200, 1000, seed=seed)
+            d = degeneracy(g)
+            res = dec_adg(g, eps=eps, seed=seed)
+            assert res.num_colors <= np.ceil((2 + eps) * d)
+
+    def test_deterministic(self, small_random):
+        a = dec_adg(small_random, seed=3)
+        b = dec_adg(small_random, seed=3)
+        np.testing.assert_array_equal(a.colors, b.colors)
+
+    def test_invalid_eps_raises(self, small_random):
+        with pytest.raises(ValueError):
+            dec_adg(small_random, eps=0.0)
+
+    def test_reorder_cost_present(self, small_random):
+        res = dec_adg(small_random, seed=0)
+        assert res.reorder_cost is not None and res.reorder_cost.work > 0
+
+    def test_clique(self):
+        res = dec_adg(complete_graph(8), eps=6.0, seed=0)
+        assert_valid_coloring(complete_graph(8), res.colors)
+
+    def test_star(self):
+        g = star(20)
+        res = dec_adg(g, eps=6.0, seed=0)
+        assert_valid_coloring(g, res.colors)
+
+    def test_grid(self):
+        g = grid_2d(12, 12)
+        res = dec_adg(g, eps=6.0, seed=0)
+        d = degeneracy(g)
+        assert res.num_colors <= np.ceil((2 + 6.0) * d)
+
+    def test_rounds_logarithmic(self):
+        """O(log n) SIM-COL rounds per partition, O(log n) partitions."""
+        g = chung_lu(1000, 5000, seed=4)
+        res = dec_adg(g, eps=6.0, seed=0)
+        logn = np.log2(g.n)
+        assert res.rounds <= 12 * logn
+
+
+class TestDecAdgM:
+    def test_valid(self, small_random):
+        res = dec_adg_m(small_random, seed=0)
+        assert_valid_coloring(small_random, res.colors)
+        assert res.algorithm == "DEC-ADG-M"
+
+    def test_quality_bound(self):
+        """(4 + eps) d colors for the median variant."""
+        for seed in range(3):
+            g = gnm_random(200, 1000, seed=seed)
+            d = degeneracy(g)
+            res = dec_adg_m(g, eps=6.0, seed=seed)
+            assert res.num_colors <= np.ceil((4 + 6.0) * d)
+
+    def test_work_linear_family(self):
+        from repro.graphs.generators import kronecker
+        ratios = []
+        for scale in [8, 9, 10]:
+            g = kronecker(scale=scale, edge_factor=8, seed=scale)
+            res = dec_adg(g, eps=6.0, seed=0)
+            ratios.append(res.total_work / (g.n + 2 * g.m))
+        assert max(ratios) < 25

@@ -1,0 +1,138 @@
+"""Tests for distance-2 coloring."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.distance2 import (
+    greedy_distance2,
+    is_valid_distance2,
+    jp_distance2,
+    square_graph,
+)
+from repro.coloring.verify import assert_valid_coloring
+from repro.graphs.builders import from_edges
+from repro.graphs.generators import (
+    complete_graph,
+    gnm_random,
+    grid_2d,
+    path_graph,
+    ring,
+    star,
+)
+
+
+class TestSquareGraph:
+    def test_path_square(self):
+        g = path_graph(5)
+        g2 = square_graph(g)
+        assert g2.has_edge(0, 2)
+        assert g2.has_edge(0, 1)
+        assert not g2.has_edge(0, 3)
+
+    def test_star_square_is_clique(self):
+        g = star(6)
+        g2 = square_graph(g)
+        assert g2.m == 7 * 6 // 2  # K_7
+
+    def test_clique_square_unchanged(self):
+        g = complete_graph(5)
+        assert square_graph(g).m == g.m
+
+    def test_empty(self):
+        g = from_edges([], [], n=4)
+        assert square_graph(g).m == 0
+
+    def test_square_valid_csr(self):
+        g = gnm_random(40, 120, seed=0)
+        square_graph(g).validate()
+
+
+class TestSquareGraphProperty:
+    def test_matches_networkx_power(self):
+        import networkx as nx
+
+        from repro.graphs.builders import from_networkx, to_networkx
+        for seed in range(3):
+            g = gnm_random(25, 60, seed=seed)
+            ours = square_graph(g)
+            theirs = from_networkx(nx.power(to_networkx(g), 2))
+            assert ours.m == theirs.m
+
+    def test_square_of_square_reaches_distance4(self):
+        g = path_graph(6)
+        g4 = square_graph(square_graph(g))
+        assert g4.has_edge(0, 4)
+        assert not g4.has_edge(0, 5)
+
+
+class TestGreedyDistance2:
+    def test_valid(self):
+        g = gnm_random(60, 180, seed=1)
+        res = greedy_distance2(g, seed=0)
+        assert is_valid_distance2(g, res.colors)
+
+    def test_equivalent_to_coloring_square(self):
+        g = gnm_random(50, 150, seed=2)
+        res = greedy_distance2(g, seed=0)
+        # a distance-2 coloring of G is a distance-1 coloring of G^2
+        assert_valid_coloring(square_graph(g), res.colors)
+
+    def test_star_needs_n_colors(self):
+        g = star(7)
+        res = greedy_distance2(g, seed=0)
+        assert res.num_colors == 8  # all leaves pairwise at distance 2
+
+    def test_path_near_optimal(self):
+        g = path_graph(9)
+        res = greedy_distance2(g, seed=0)
+        # chi_2(path) = 3; greedy under a degree order may spend one more
+        assert 3 <= res.num_colors <= 4
+
+    def test_ring_at_least_three(self):
+        res = greedy_distance2(ring(9), seed=0)
+        assert res.num_colors >= 3
+
+    def test_delta_squared_bound(self):
+        g = gnm_random(80, 240, seed=3)
+        res = greedy_distance2(g, seed=0)
+        assert res.num_colors <= g.max_degree ** 2 + 1
+
+
+class TestJPDistance2:
+    def test_valid(self):
+        g = gnm_random(60, 180, seed=4)
+        res = jp_distance2(g, "ADG", seed=0, eps=0.1)
+        assert is_valid_distance2(g, res.colors)
+        assert res.algorithm == "JPD2-ADG"
+
+    def test_grid(self):
+        g = grid_2d(8, 8)
+        res = jp_distance2(g, "R", seed=0)
+        assert is_valid_distance2(g, res.colors)
+        # grid distance-2 chromatic number is small and structured
+        assert res.num_colors <= 13
+
+    def test_matches_square_degeneracy_bound(self):
+        from repro.graphs.properties import degeneracy
+        g = gnm_random(50, 150, seed=5)
+        g2 = square_graph(g)
+        res = jp_distance2(g, "ADG", seed=0, eps=0.01)
+        assert res.num_colors <= np.ceil(2.02 * degeneracy(g2)) + 1
+
+
+class TestValidator:
+    def test_rejects_distance1_conflict(self):
+        g = path_graph(3)
+        assert not is_valid_distance2(g, np.array([1, 1, 2]))
+
+    def test_rejects_distance2_conflict(self):
+        g = path_graph(3)
+        assert not is_valid_distance2(g, np.array([1, 2, 1]))
+
+    def test_accepts_valid(self):
+        g = path_graph(3)
+        assert is_valid_distance2(g, np.array([1, 2, 3]))
+
+    def test_rejects_uncolored(self):
+        g = path_graph(2)
+        assert not is_valid_distance2(g, np.array([0, 1]))

@@ -1,0 +1,174 @@
+"""Focused edge-behavior tests across algorithms (beyond the happy path)."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.dec_adg import dec_adg
+from repro.coloring.dec_adg_itr import dec_adg_itr
+from repro.coloring.jp import jp_adg, jp_by_name, jp_color
+from repro.coloring.speculative import itr
+from repro.coloring.verify import assert_valid_coloring
+from repro.graphs.builders import empty_graph, from_edges
+from repro.graphs.generators import (
+    complete_graph,
+    gnm_random,
+    grid_2d,
+    path_graph,
+    random_bipartite,
+    ring,
+    star,
+)
+from repro.graphs.properties import degeneracy
+from repro.ordering.adg import adg_ordering
+
+
+class TestDisconnectedGraphs:
+    def make_islands(self):
+        """Three components of very different density."""
+        clique = complete_graph(6)
+        cu, cv = clique.undirected_edges()
+        ring_u = np.arange(6, 14)
+        parts_u = np.concatenate([cu, ring_u])
+        parts_v = np.concatenate([cv, np.roll(ring_u, -1)])
+        return from_edges(parts_u, parts_v, n=20, name="islands")
+
+    def test_jp_adg(self):
+        g = self.make_islands()
+        res = jp_adg(g, eps=0.1, seed=0)
+        assert_valid_coloring(g, res.colors)
+        assert res.num_colors == 6  # dominated by the clique
+
+    def test_dec_adg(self):
+        g = self.make_islands()
+        res = dec_adg(g, eps=6.0, seed=0)
+        assert_valid_coloring(g, res.colors)
+
+    def test_itr(self):
+        g = self.make_islands()
+        res = itr(g, seed=0)
+        assert_valid_coloring(g, res.colors)
+
+    def test_isolated_vertices_colored_one(self):
+        g = self.make_islands()
+        res = jp_adg(g, eps=0.1, seed=0)
+        assert np.all(res.colors[14:] == 1)
+
+
+class TestADGEdgeCases:
+    def test_huge_eps_single_level(self, small_random):
+        o = adg_ordering(small_random, eps=1e12)
+        assert o.num_levels == 1
+
+    def test_eps_zero_still_terminates(self):
+        g = gnm_random(200, 800, seed=0)
+        o = adg_ordering(g, eps=0.0)
+        o.validate()
+        assert o.num_levels >= 1
+
+    def test_regular_graph_single_batch(self):
+        # every degree equals the average: one iteration removes all
+        o = adg_ordering(ring(30), eps=0.0)
+        assert o.num_levels == 1
+
+    def test_star_two_levels(self):
+        # leaves (deg 1 <= avg) go first, the hub survives to level 2
+        o = adg_ordering(star(30), eps=0.01)
+        assert o.num_levels == 2
+        assert o.levels[0] == 2  # the hub
+
+    def test_grid_levels_monotone_inward(self):
+        g = grid_2d(9, 9)
+        o = adg_ordering(g, eps=0.0)
+        # corners (deg 2) leave no later than centre vertices
+        corner = 0
+        centre = 4 * 9 + 4
+        assert o.levels[corner] <= o.levels[centre]
+
+
+class TestJPWaveStructure:
+    def test_star_two_waves(self):
+        g = star(10)
+        # hub ranked first: wave 1 hub, wave 2 all leaves
+        ranks = np.zeros(11, dtype=np.int64)
+        ranks[0] = 10
+        ranks[1:] = np.arange(10)
+        colors, waves = jp_color(g, ranks)
+        assert waves == 2
+        assert colors[0] == 1 and np.all(colors[1:] == 2)
+
+    def test_bipartite_good_order_two_colors(self):
+        g = random_bipartite(15, 15, 90, seed=0)
+        # rank one side entirely above the other
+        ranks = np.concatenate([np.arange(15) + 15, np.arange(15)])
+        colors, _ = jp_color(g, ranks)
+        assert colors.max() <= 2
+
+    def test_path_alternating_order_two_waves(self):
+        g = path_graph(10)
+        # evens first, odds second: an optimal 2-wave schedule
+        ranks = np.empty(10, dtype=np.int64)
+        ranks[::2] = np.arange(5) + 5
+        ranks[1::2] = np.arange(5)
+        colors, waves = jp_color(g, ranks)
+        assert waves == 2
+        assert colors.max() == 2
+
+
+class TestSeedSensitivity:
+    def test_different_seeds_may_differ_but_stay_bounded(self):
+        g = gnm_random(150, 600, seed=4)
+        d = degeneracy(g)
+        counts = {jp_adg(g, eps=0.1, seed=s).num_colors for s in range(5)}
+        assert all(c <= np.ceil(2.2 * d) + 1 for c in counts)
+
+    def test_itr_seed_changes_priority(self):
+        g = gnm_random(200, 1600, seed=5)
+        a = itr(g, seed=1).colors
+        b = itr(g, seed=2).colors
+        assert not np.array_equal(a, b)
+
+    def test_dec_adg_itr_stable_quality_across_seeds(self):
+        g = gnm_random(200, 800, seed=6)
+        d = degeneracy(g)
+        for s in range(4):
+            res = dec_adg_itr(g, eps=0.1, seed=s)
+            assert res.num_colors <= np.ceil(2.2 * d) + 1
+
+
+class TestPhaseAccounting:
+    def test_jp_phases_present(self, small_random):
+        res = jp_by_name(small_random, "R", seed=0)
+        assert "jp:dag" in res.cost.phases
+        assert "jp:color" in res.cost.phases
+
+    def test_adg_phase_name_by_variant(self, small_random):
+        avg = adg_ordering(small_random, variant="avg")
+        med = adg_ordering(small_random, variant="median")
+        assert "order:adg" in avg.cost.phases
+        assert "order:adg-m" in med.cost.phases
+
+    def test_round_log_replayable(self, small_random):
+        from repro.machine.simulator import replay
+        res = jp_adg(small_random, seed=0)
+        cost = res.combined_cost()
+        assert len(cost.round_log) > 0
+        assert replay(cost, 8).work == cost.work
+
+    def test_dec_phases(self, small_random):
+        res = dec_adg(small_random, seed=0)
+        assert "dec:color" in res.cost.phases
+
+
+class TestEmptyAndTiny:
+    @pytest.mark.parametrize("maker", [
+        lambda: empty_graph(0), lambda: empty_graph(1),
+        lambda: from_edges([0], [1]),
+    ], ids=["n0", "n1", "one-edge"])
+    def test_headline_algorithms(self, maker):
+        from repro.coloring.registry import color
+        g = maker()
+        for alg in ["JP-ADG", "ITR", "DEC-ADG-ITR", "GM", "Luby"]:
+            res = color(alg, g, seed=0)
+            assert res.colors.size == g.n
+            if g.n:
+                assert_valid_coloring(g, res.colors)

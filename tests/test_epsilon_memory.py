@@ -1,0 +1,64 @@
+"""Tests for the epsilon sweep (Fig. 3) and memory pressure (Fig. 4)."""
+
+import pytest
+
+from repro.bench.epsilon import epsilon_sweep
+from repro.bench.memory import memory_pressure
+from repro.graphs.generators import chung_lu
+
+
+@pytest.fixture(scope="module")
+def sweep_graph():
+    return chung_lu(500, 2500, exponent=2.3, seed=0, name="epsgraph")
+
+
+class TestEpsilonSweep:
+    @pytest.fixture(scope="class")
+    def points(self, sweep_graph):
+        return epsilon_sweep(sweep_graph, eps_values=[0.01, 0.3, 2.0], seed=0)
+
+    def test_point_count(self, points):
+        assert len(points) == 6  # 3 eps x 2 algorithms
+
+    def test_iterations_decrease_with_eps(self, points):
+        iters = [p.adg_iterations for p in points if p.algorithm == "JP-ADG"]
+        assert iters == sorted(iters, reverse=True)
+
+    def test_depth_not_increasing_much_with_eps(self, points):
+        """Larger eps -> fewer ADG iterations -> shallower reordering."""
+        jp = sorted((p.eps, p.depth) for p in points
+                    if p.algorithm == "JP-ADG")
+        assert jp[-1][1] <= jp[0][1] * 1.5
+
+    def test_quality_degrades_gracefully(self, points):
+        """The paper: quality decrease with eps is minor."""
+        jp = {p.eps: p.colors for p in points if p.algorithm == "JP-ADG"}
+        assert jp[2.0] <= 2.5 * jp[0.01]
+
+    def test_all_metrics_positive(self, points):
+        for p in points:
+            assert p.colors > 0 and p.work > 0 and p.sim_time_32 > 0
+
+
+class TestMemoryPressure:
+    @pytest.fixture(scope="class")
+    def points(self, sweep_graph):
+        return memory_pressure(sweep_graph, ["JP-R", "JP-ADG", "JP-SL",
+                                             "ITR", "DEC-ADG-ITR"], seed=0)
+
+    def test_point_count(self, points):
+        assert len(points) == 5
+
+    def test_fractions_in_unit_interval(self, points):
+        for p in points:
+            assert 0.0 <= p.random_fraction <= 1.0
+            assert 0.0 <= p.idle_fraction <= 1.0
+
+    def test_touches_positive(self, points):
+        assert all(p.total_touches > 0 for p in points)
+
+    def test_our_algorithms_competitive(self, points):
+        """Fig. 4's claim: JP-ADG's locality is comparable to the JP class."""
+        by_name = {p.algorithm: p for p in points}
+        assert by_name["JP-ADG"].random_fraction <= \
+            by_name["JP-SL"].random_fraction + 0.15

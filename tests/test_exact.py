@@ -1,0 +1,126 @@
+"""Tests for the exact chromatic-number oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.coloring.exact import chromatic_number, optimal_coloring
+from repro.coloring.verify import assert_valid_coloring
+from repro.graphs.builders import from_edges, to_networkx
+from repro.graphs.generators import (
+    complete_graph,
+    gnm_random,
+    path_graph,
+    random_bipartite,
+    ring,
+    star,
+)
+
+from .conftest import graphs
+
+
+class TestChromaticNumber:
+    def test_empty(self):
+        assert chromatic_number(from_edges([], [], n=0)) == 0
+
+    def test_edgeless(self):
+        assert chromatic_number(from_edges([], [], n=5)) == 1
+
+    def test_single_edge(self):
+        assert chromatic_number(from_edges([0], [1])) == 2
+
+    @pytest.mark.parametrize("k", [2, 3, 5, 7])
+    def test_clique(self, k):
+        assert chromatic_number(complete_graph(k)) == k
+
+    def test_even_ring(self):
+        assert chromatic_number(ring(8)) == 2
+
+    def test_odd_ring(self):
+        assert chromatic_number(ring(9)) == 3
+
+    def test_path(self):
+        assert chromatic_number(path_graph(10)) == 2
+
+    def test_star(self):
+        assert chromatic_number(star(12)) == 2
+
+    def test_bipartite(self):
+        g = random_bipartite(8, 8, 30, seed=0)
+        assert chromatic_number(g) <= 2
+
+    def test_petersen(self):
+        import networkx as nx
+
+        from repro.graphs.builders import from_networkx
+        g = from_networkx(nx.petersen_graph())
+        assert chromatic_number(g) == 3
+
+    def test_too_large_raises(self):
+        with pytest.raises(ValueError):
+            chromatic_number(gnm_random(100, 300, seed=0), max_n=64)
+
+    def test_matches_bruteforce_small(self):
+        for seed in range(6):
+            g = gnm_random(9, 16, seed=seed)
+            ours = chromatic_number(g)
+            assert ours == _chi_bruteforce(g)
+
+    @given(graphs(max_n=8, max_m=16))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_bruteforce_property(self, g):
+        assert chromatic_number(g) == _chi_bruteforce(g)
+
+
+class TestOptimalColoring:
+    def test_achieves_chi(self):
+        for seed in range(4):
+            g = gnm_random(14, 30, seed=seed)
+            chi = chromatic_number(g)
+            colors = optimal_coloring(g)
+            assert_valid_coloring(g, colors)
+            assert colors.max() == chi
+
+    def test_empty(self):
+        assert optimal_coloring(from_edges([], [], n=0)).size == 0
+
+    def test_edgeless(self):
+        np.testing.assert_array_equal(optimal_coloring(from_edges([], [], n=3)),
+                                      [1, 1, 1])
+
+
+class TestHeuristicsCalibration:
+    """The heuristics can never beat chi; measure the gap on small graphs."""
+
+    def test_all_heuristics_at_least_chi(self):
+        from repro.coloring.registry import ALGORITHMS, color
+        g = gnm_random(30, 90, seed=3)
+        chi = chromatic_number(g)
+        for name in sorted(ALGORITHMS):
+            assert color(name, g, seed=0).num_colors >= chi, name
+
+    def test_jp_adg_near_optimal_on_small_sparse(self):
+        gaps = []
+        for seed in range(5):
+            g = gnm_random(24, 40, seed=seed)
+            chi = chromatic_number(g)
+            from repro.coloring.jp import jp_adg
+            gaps.append(jp_adg(g, eps=0.01, seed=seed).num_colors - chi)
+        assert sum(gaps) <= 5  # on average within one color of optimal
+
+
+def _chi_bruteforce(g) -> int:
+    """k-colorability by exhaustive search (tiny graphs only)."""
+    import itertools
+
+    if g.n == 0:
+        return 0
+    if g.m == 0:
+        return 1
+    u, v = g.undirected_edges()
+    edges = list(zip(u.tolist(), v.tolist()))
+    for k in range(2, g.n + 1):
+        for assign in itertools.product(range(k), repeat=g.n):
+            if all(assign[a] != assign[b] for a, b in edges):
+                return k
+    return g.n

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script must run end-to-end.
+
+Each example's ``main()`` is executed in-process (no subprocess
+overhead); the examples contain their own correctness assertions
+(valid colorings, exact Jacobian recovery, zero schedule clashes,
+deterministic chromatic scheduling), so a clean run is a real check.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 3, "the deliverable requires >= 3 examples"
+    assert "quickstart" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_quickstart_reports_colors(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "JP-ADG" in out
+    assert "degeneracy" in out
+
+
+def test_sparse_jacobian_recovers(capsys):
+    load_example("sparse_jacobian").main()
+    out = capsys.readouterr().out
+    assert "recovered every Jacobian entry" in out
+
+
+def test_exam_scheduling_no_clashes(capsys):
+    load_example("exam_scheduling").main()
+    out = capsys.readouterr().out
+    assert "student clashes: 0" in out

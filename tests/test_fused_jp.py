@@ -1,0 +1,89 @@
+"""Tests for the fused JP-ADG optimization (paper SS V-C)."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.jp import jp, jp_adg_fused, jp_color
+from repro.coloring.verify import assert_valid_coloring
+from repro.graphs.generators import chung_lu, gnm_random
+from repro.ordering.adg import adg_ordering
+
+from .conftest import graph_zoo
+
+
+class TestFusedRanks:
+    def test_pred_counts_match_direct_computation(self, small_random):
+        o = adg_ordering(small_random, eps=0.1, sort_batches=True,
+                         compute_ranks=True, seed=0)
+        src, dst = small_random.edge_array()
+        expected = np.bincount(src[o.ranks[dst] > o.ranks[src]],
+                               minlength=small_random.n)
+        np.testing.assert_array_equal(o.pred_counts, expected)
+
+    def test_zoo_pred_counts(self):
+        for g in graph_zoo():
+            o = adg_ordering(g, eps=0.2, sort_batches=True,
+                             compute_ranks=True, seed=1)
+            if g.n == 0:
+                continue
+            src, dst = g.edge_array()
+            expected = np.bincount(src[o.ranks[dst] > o.ranks[src]],
+                                   minlength=g.n)
+            np.testing.assert_array_equal(o.pred_counts, expected, g.name)
+
+    def test_requires_sorted_batches(self, small_random):
+        with pytest.raises(ValueError, match="sort_batches"):
+            adg_ordering(small_random, compute_ranks=True)
+
+    def test_requires_push_update(self, small_random):
+        with pytest.raises(ValueError, match="push"):
+            adg_ordering(small_random, compute_ranks=True,
+                         sort_batches=True, update="pull")
+
+    def test_absent_by_default(self, small_random):
+        assert adg_ordering(small_random).pred_counts is None
+
+
+class TestFusedColoring:
+    def test_same_colors_as_unfused(self, small_random):
+        o = adg_ordering(small_random, eps=0.1, sort_batches=True,
+                         compute_ranks=True, seed=0)
+        fused = jp(small_random, o, use_fused_ranks=True)
+        plain = jp(small_random, o, use_fused_ranks=False)
+        np.testing.assert_array_equal(fused.colors, plain.colors)
+
+    def test_fused_skips_dag_work(self, small_random):
+        o = adg_ordering(small_random, eps=0.1, sort_batches=True,
+                         compute_ranks=True, seed=0)
+        fused = jp(small_random, o, use_fused_ranks=True)
+        plain = jp(small_random, o, use_fused_ranks=False)
+        assert fused.cost.work < plain.cost.work
+        assert "jp:dag" not in fused.cost.phases
+        assert "jp:dag" in plain.cost.phases
+
+    def test_jp_adg_fused_valid(self):
+        for seed in range(3):
+            g = chung_lu(300, 1500, seed=seed)
+            res = jp_adg_fused(g, eps=0.1, seed=seed)
+            assert_valid_coloring(g, res.colors)
+            assert res.algorithm == "JP-ADG-O"
+
+    def test_fused_quality_bound(self):
+        from repro.graphs.properties import degeneracy
+        for seed in range(3):
+            g = gnm_random(150, 600, seed=seed)
+            res = jp_adg_fused(g, eps=0.1, seed=seed)
+            assert res.num_colors <= np.ceil(2 * 1.1 * degeneracy(g)) + 1
+
+    def test_jp_color_rejects_bad_pred_counts(self, small_random):
+        with pytest.raises(ValueError):
+            jp_color(small_random, np.arange(small_random.n),
+                     pred_counts=np.zeros(3, dtype=np.int64))
+
+    def test_total_work_fused_leq_separate(self, small_random):
+        fused = jp_adg_fused(small_random, eps=0.1, seed=0)
+        o = adg_ordering(small_random, eps=0.1, sort_batches=True, seed=0)
+        separate = jp(small_random, o)
+        np.testing.assert_array_equal(fused.colors, separate.colors)
+        assert fused.total_work <= separate.total_work + \
+            fused.reorder_cost.work  # fusion shifts work, never adds a pass

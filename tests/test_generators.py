@@ -1,0 +1,184 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    barabasi_albert,
+    chung_lu,
+    complete_graph,
+    gnm_random,
+    grid_2d,
+    kronecker,
+    path_graph,
+    planted_kcore,
+    random_bipartite,
+    random_tree,
+    ring,
+    road_network,
+    star,
+)
+from repro.graphs.properties import degeneracy, is_bipartite, num_components
+
+
+class TestGnm:
+    def test_sizes(self):
+        g = gnm_random(100, 300, seed=0)
+        assert g.n == 100
+        assert g.m == 300
+
+    def test_deterministic(self):
+        a = gnm_random(50, 100, seed=3)
+        b = gnm_random(50, 100, seed=3)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_different_seeds_differ(self):
+        a = gnm_random(50, 100, seed=1)
+        b = gnm_random(50, 100, seed=2)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_dense_request_capped(self):
+        g = gnm_random(5, 100, seed=0)
+        assert g.m <= 10
+
+    def test_degenerate_inputs(self):
+        assert gnm_random(0, 10).n == 0
+        assert gnm_random(10, 0).m == 0
+
+    def test_valid(self):
+        gnm_random(60, 200, seed=5).validate()
+
+
+class TestChungLu:
+    def test_size(self):
+        g = chung_lu(200, 800, seed=0)
+        assert g.n == 200
+        assert g.m == 800
+
+    def test_heavy_tail(self):
+        g = chung_lu(500, 2500, exponent=2.1, seed=1)
+        deg = g.degrees
+        assert deg.max() > 5 * deg.mean()
+
+    def test_valid(self):
+        chung_lu(100, 300, seed=2).validate()
+
+
+class TestKronecker:
+    def test_vertex_count(self):
+        g = kronecker(scale=8, edge_factor=4, seed=0)
+        assert g.n == 256
+
+    def test_edges_close_to_factor(self):
+        g = kronecker(scale=10, edge_factor=8, seed=0)
+        # dedup and self-loop removal lose some samples
+        assert 0.4 * 8 * g.n <= g.m <= 8 * g.n
+
+    def test_deterministic(self):
+        a = kronecker(scale=7, edge_factor=4, seed=9)
+        b = kronecker(scale=7, edge_factor=4, seed=9)
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+
+    def test_bad_probs_raise(self):
+        with pytest.raises(ValueError):
+            kronecker(scale=4, probs=(0.5, 0.5, 0.5, 0.5))
+
+    def test_skewed_degrees(self):
+        g = kronecker(scale=10, edge_factor=8, seed=1)
+        assert g.max_degree > 4 * g.avg_degree
+
+    def test_valid(self):
+        kronecker(scale=7, edge_factor=4, seed=2).validate()
+
+
+class TestStructuredGraphs:
+    def test_grid_degeneracy(self):
+        g = grid_2d(10, 10)
+        assert degeneracy(g) == 2
+        assert g.max_degree == 4
+
+    def test_grid_diagonal(self):
+        g = grid_2d(6, 6, diagonal=True)
+        assert g.max_degree == 8
+
+    def test_grid_edge_count(self):
+        g = grid_2d(3, 4)
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_ring(self):
+        g = ring(10)
+        assert g.m == 10
+        assert np.all(g.degrees == 2)
+
+    def test_small_ring_falls_back_to_path(self):
+        assert ring(2).m == 1
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.m == 4
+        assert degeneracy(g) == 1
+
+    def test_complete(self):
+        g = complete_graph(8)
+        assert g.m == 28
+        assert degeneracy(g) == 7
+
+    def test_star(self):
+        g = star(20)
+        assert g.n == 21
+        assert g.max_degree == 20
+        assert degeneracy(g) == 1
+
+    def test_tree(self):
+        g = random_tree(100, seed=0)
+        assert g.m == 99
+        assert degeneracy(g) == 1
+        assert num_components(g) == 1
+
+    def test_bipartite(self):
+        g = random_bipartite(20, 30, 200, seed=0)
+        assert is_bipartite(g)
+
+    def test_road_network(self):
+        g = road_network(400, seed=0)
+        assert g.n == 400
+        # mesh-like: tiny degeneracy even with shortcuts
+        assert degeneracy(g) <= 4
+
+
+class TestPlantedKCore:
+    def test_degeneracy_is_k(self):
+        g = planted_kcore(80, 10, fringe_edges=2, seed=0)
+        assert degeneracy(g) == 10
+
+    @pytest.mark.parametrize("k", [2, 5, 12])
+    def test_various_k(self, k):
+        g = planted_kcore(60, k, fringe_edges=1, seed=1)
+        assert degeneracy(g) == k
+
+    def test_bad_args_raise(self):
+        with pytest.raises(ValueError):
+            planted_kcore(5, 10)
+
+
+class TestBarabasiAlbert:
+    def test_size(self):
+        g = barabasi_albert(200, attach=3, seed=0)
+        assert g.n == 200
+        assert g.m <= 3 * 200
+
+    def test_hub_emerges(self):
+        g = barabasi_albert(300, attach=2, seed=1)
+        assert g.max_degree > 3 * g.avg_degree
+
+    def test_small_n_complete(self):
+        g = barabasi_albert(3, attach=5, seed=0)
+        assert g.m == 3  # K_3
+
+    def test_attach_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(10, attach=0)
+
+    def test_connected(self):
+        g = barabasi_albert(150, attach=2, seed=2)
+        assert num_components(g) == 1

@@ -1,0 +1,77 @@
+"""Golden regression tests: exact outputs for fixed graphs and seeds.
+
+Deterministic algorithms must keep producing byte-identical results
+across refactors; these tests pin the color counts (and a few full
+colorings) on a frozen graph.  If an intentional algorithm change moves
+a number, the new value must be reviewed against its quality bound and
+updated here deliberately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coloring.registry import color
+from repro.graphs.generators import kronecker
+from repro.graphs.properties import degeneracy
+from repro.ordering.adg import adg_ordering
+
+GOLDEN_GRAPH = dict(scale=9, edge_factor=8, seed=1234)
+
+# (algorithm, expected color count) on the golden graph with seed 0.
+GOLDEN_COLORS = {
+    "JP-FF": 18,
+    "JP-R": 20,
+    "JP-LF": 15,
+    "JP-LLF": 15,
+    "JP-SL": 15,
+    "JP-SLL": 15,
+    "JP-ASL": 15,
+    "JP-ADG": 16,
+    "JP-ADG-M": 16,
+    "JP-ADG-O": 15,
+    "ITR": 20,
+    "ITR-ASL": 15,
+    "ITRB": 21,
+    "Luby": 21,
+    "GM": 19,
+    "CR": 214,
+    "DEC-ADG-ITR": 15,
+    "Greedy-FF": 18,
+    "Greedy-SL": 15,
+    "Greedy-SD": 14,
+    "Greedy-ID": 15,
+}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return kronecker(**GOLDEN_GRAPH, name="golden")
+
+
+def test_golden_graph_shape(golden):
+    assert (golden.n, golden.m) == (512, 2797)
+    assert degeneracy(golden) == 21
+    assert golden.max_degree == 213
+
+
+@pytest.mark.parametrize("alg,expected", sorted(GOLDEN_COLORS.items()))
+def test_golden_color_counts(golden, alg, expected):
+    kwargs = {"seed": 0}
+    if alg in ("JP-ADG", "DEC-ADG-ITR", "JP-ADG-O"):
+        kwargs["eps"] = 0.01
+    res = color(alg, golden, **kwargs)
+    assert res.num_colors == expected, \
+        f"{alg} drifted: got {res.num_colors}, golden {expected}"
+
+
+def test_golden_adg_levels(golden):
+    o = adg_ordering(golden, eps=0.01, seed=0)
+    assert o.num_levels == 5
+    counts = np.bincount(o.levels)[1:]
+    assert counts.sum() == golden.n
+
+
+def test_golden_adg_work_depth(golden):
+    o = adg_ordering(golden, eps=0.01, seed=0)
+    assert o.cost.work == 7340
+    assert o.cost.depth == 29

@@ -1,0 +1,96 @@
+"""Tests for graph I/O formats."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import gnm_random
+from repro.graphs.io import (
+    load_npz,
+    read_edge_list,
+    read_metis,
+    save_npz,
+    write_edge_list,
+    write_metis,
+)
+
+
+@pytest.fixture()
+def sample():
+    return gnm_random(40, 120, seed=1, name="sample")
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, sample):
+        path = tmp_path / "g.txt"
+        write_edge_list(sample, path)
+        back = read_edge_list(path)
+        # The SNAP format cannot represent isolated vertices; edges and
+        # the non-isolated vertex count survive the round trip.
+        assert back.m == sample.m
+        assert back.n == int((sample.degrees > 0).sum())
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n0 1\n\n1 2\n")
+        g = read_edge_list(path)
+        assert g.m == 2
+
+    def test_id_compaction(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("100 200\n200 300\n")
+        g = read_edge_list(path)
+        assert g.n == 3 and g.m == 2
+
+    def test_malformed_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_no_header_option(self, tmp_path, sample):
+        path = tmp_path / "g.txt"
+        write_edge_list(sample, path, header=False)
+        assert not path.read_text().startswith("#")
+
+
+class TestMetis:
+    def test_roundtrip(self, tmp_path, sample):
+        path = tmp_path / "g.graph"
+        write_metis(sample, path)
+        back = read_metis(path)
+        assert back.n == sample.n and back.m == sample.m
+        np.testing.assert_array_equal(back.indices, sample.indices)
+
+    def test_header_vertex_mismatch(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("3 1\n2\n1\n")  # declares 3 vertices, has 2 lines
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+    def test_header_edge_mismatch(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("% comment\n2 1\n2\n1\n")
+        g = read_metis(path)
+        assert g.m == 1
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path, sample):
+        path = tmp_path / "g.npz"
+        save_npz(sample, path)
+        back = load_npz(path)
+        assert back.name == "sample"
+        np.testing.assert_array_equal(back.indptr, sample.indptr)
+        np.testing.assert_array_equal(back.indices, sample.indices)

@@ -1,0 +1,81 @@
+"""Tests for Luby's MIS and MIS-based coloring."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.mis import luby_coloring, luby_mis
+from repro.coloring.verify import assert_valid_coloring
+from repro.graphs.generators import complete_graph, gnm_random, ring, star
+
+
+class TestLubyMIS:
+    def _check_mis(self, g, candidates, mis):
+        in_mis = np.zeros(g.n, dtype=bool)
+        in_mis[mis] = True
+        cand = np.zeros(g.n, dtype=bool)
+        cand[candidates] = True
+        # independence
+        for v in mis:
+            for u in g.neighbors(v):
+                assert not in_mis[u], f"edge ({v},{u}) inside MIS"
+        # maximality within the candidate set
+        for v in np.flatnonzero(cand & ~in_mis):
+            assert any(in_mis[u] for u in g.neighbors(v)), \
+                f"vertex {v} could be added"
+
+    def test_random_graph(self):
+        g = gnm_random(80, 320, seed=0)
+        mis = luby_mis(g, np.arange(g.n), np.random.default_rng(0))
+        self._check_mis(g, np.arange(g.n), mis)
+
+    def test_clique_single_vertex(self):
+        g = complete_graph(10)
+        mis = luby_mis(g, np.arange(10), np.random.default_rng(1))
+        assert mis.size == 1
+
+    def test_star_leaves(self):
+        g = star(12)
+        mis = luby_mis(g, np.arange(g.n), np.random.default_rng(2))
+        self._check_mis(g, np.arange(g.n), mis)
+
+    def test_subset_candidates(self):
+        g = ring(20)
+        cand = np.arange(0, 20, 2)
+        mis = luby_mis(g, cand, np.random.default_rng(3))
+        assert set(mis.tolist()) <= set(cand.tolist())
+        self._check_mis(g, cand, mis)
+
+    def test_empty_candidates(self):
+        g = ring(6)
+        mis = luby_mis(g, np.array([], dtype=np.int64),
+                       np.random.default_rng(4))
+        assert mis.size == 0
+
+
+class TestLubyColoring:
+    def test_valid(self, small_random):
+        res = luby_coloring(small_random, seed=0)
+        assert_valid_coloring(small_random, res.colors)
+
+    def test_delta_plus_one(self, small_random):
+        res = luby_coloring(small_random, seed=0)
+        assert res.num_colors <= small_random.max_degree + 1
+
+    def test_color_classes_are_independent_sets(self):
+        g = gnm_random(60, 240, seed=5)
+        res = luby_coloring(g, seed=0)
+        u, v = g.undirected_edges()
+        assert np.all(res.colors[u] != res.colors[v])
+
+    def test_clique(self):
+        res = luby_coloring(complete_graph(7), seed=0)
+        assert res.num_colors == 7
+
+    def test_rounds_equals_colors(self, small_random):
+        res = luby_coloring(small_random, seed=0)
+        assert res.rounds == res.num_colors
+
+    def test_deterministic(self, small_random):
+        a = luby_coloring(small_random, seed=6)
+        b = luby_coloring(small_random, seed=6)
+        np.testing.assert_array_equal(a.colors, b.colors)

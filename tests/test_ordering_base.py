@@ -1,0 +1,91 @@
+"""Tests for the Ordering type and total-order helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ordering.base import Ordering, random_tiebreak, total_order
+
+
+class TestTotalOrder:
+    def test_distinct_priorities(self):
+        ranks = total_order(np.array([5, 1, 3]))
+        np.testing.assert_array_equal(ranks, [2, 0, 1])
+
+    def test_ties_broken_by_tiebreak(self):
+        ranks = total_order(np.array([1, 1, 1]), np.array([2, 0, 1]))
+        np.testing.assert_array_equal(ranks, [2, 0, 1])
+
+    def test_ties_without_tiebreak_fall_back_to_id(self):
+        ranks = total_order(np.array([1, 1]))
+        np.testing.assert_array_equal(ranks, [0, 1])
+
+    def test_lexicographic(self):
+        # priority dominates the tiebreak
+        ranks = total_order(np.array([1, 2]), np.array([9, 0]))
+        np.testing.assert_array_equal(ranks, [0, 1])
+
+    def test_is_permutation(self):
+        rng = np.random.default_rng(0)
+        pri = rng.integers(0, 5, size=50)
+        ranks = total_order(pri, random_tiebreak(50, 1))
+        np.testing.assert_array_equal(np.sort(ranks), np.arange(50))
+
+
+class TestRandomTiebreak:
+    def test_permutation(self):
+        tb = random_tiebreak(100, 0)
+        np.testing.assert_array_equal(np.sort(tb), np.arange(100))
+
+    def test_seed_determinism(self):
+        np.testing.assert_array_equal(random_tiebreak(50, 7),
+                                      random_tiebreak(50, 7))
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(random_tiebreak(50, 1),
+                                  random_tiebreak(50, 2))
+
+
+class TestOrdering:
+    def test_validate_permutation(self):
+        Ordering(name="x", ranks=np.array([2, 0, 1])).validate()
+
+    def test_validate_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            Ordering(name="x", ranks=np.array([0, 0, 1])).validate()
+
+    def test_validate_levels_monotone(self):
+        o = Ordering(name="x", ranks=np.array([0, 1, 2]),
+                     levels=np.array([1, 1, 2]), num_levels=2)
+        o.validate()
+
+    def test_validate_rejects_inconsistent_levels(self):
+        o = Ordering(name="x", ranks=np.array([2, 1, 0]),
+                     levels=np.array([1, 1, 2]), num_levels=2)
+        with pytest.raises(ValueError):
+            o.validate()
+
+    def test_coloring_sequence(self):
+        o = Ordering(name="x", ranks=np.array([0, 2, 1]))
+        np.testing.assert_array_equal(o.coloring_sequence(), [1, 2, 0])
+
+    def test_level_partitions(self):
+        o = Ordering(name="x", ranks=np.array([0, 2, 1, 3]),
+                     levels=np.array([1, 2, 1, 2]), num_levels=2)
+        parts = o.level_partitions()
+        assert len(parts) == 2
+        np.testing.assert_array_equal(np.sort(parts[0]), [0, 2])
+        np.testing.assert_array_equal(np.sort(parts[1]), [1, 3])
+
+    def test_level_partitions_requires_levels(self):
+        o = Ordering(name="x", ranks=np.array([0, 1]))
+        with pytest.raises(ValueError):
+            o.level_partitions()
+
+    def test_partitions_cover_all_vertices(self):
+        rng = np.random.default_rng(3)
+        levels = rng.integers(1, 5, size=40)
+        ranks = total_order(levels, random_tiebreak(40, 0))
+        o = Ordering(name="x", ranks=ranks, levels=levels, num_levels=4)
+        parts = o.level_partitions()
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(combined, np.arange(40))

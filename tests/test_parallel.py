@@ -1,0 +1,89 @@
+"""Tests for the chunked thread-pool execution helpers."""
+
+import numpy as np
+import pytest
+
+from repro.machine.parallel import (
+    ParallelContext,
+    chunked_map,
+    chunked_sum,
+    default_workers,
+    split_chunks,
+)
+
+
+class TestSplitChunks:
+    def test_exact_cover(self):
+        chunks = split_chunks(100, 4)
+        assert chunks[0][0] == 0 and chunks[-1][1] == 100
+        for (a, b), (c, _) in zip(chunks, chunks[1:]):
+            assert b == c
+
+    def test_more_chunks_than_items(self):
+        chunks = split_chunks(3, 10)
+        assert len(chunks) == 3
+        assert all(hi - lo == 1 for lo, hi in chunks)
+
+    def test_empty(self):
+        assert split_chunks(0, 4) == []
+
+    def test_single_chunk(self):
+        assert split_chunks(7, 1) == [(0, 7)]
+
+    def test_balanced(self):
+        chunks = split_chunks(10, 3)
+        sizes = [hi - lo for lo, hi in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestChunkedMap:
+    def test_sums_match_serial(self):
+        data = np.arange(1000, dtype=np.int64)
+        parts = chunked_map(lambda lo, hi: int(data[lo:hi].sum()), data.size,
+                            workers=4)
+        assert sum(parts) == int(data.sum())
+
+    def test_single_worker(self):
+        parts = chunked_map(lambda lo, hi: hi - lo, 10, workers=1)
+        assert sum(parts) == 10
+
+    def test_zero_items(self):
+        assert chunked_map(lambda lo, hi: 1, 0, workers=2) == []
+
+
+class TestParallelContext:
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ParallelContext(workers=0)
+
+    def test_context_reuse(self):
+        with ParallelContext(workers=2) as ctx:
+            a = ctx.map_chunks(lambda lo, hi: hi - lo, 100)
+            b = ctx.map_chunks(lambda lo, hi: hi - lo, 50)
+        assert sum(a) == 100 and sum(b) == 50
+
+    def test_results_in_chunk_order(self):
+        with ParallelContext(workers=3) as ctx:
+            spans = ctx.map_chunks(lambda lo, hi: (lo, hi), 97)
+        flat = [lo for lo, _ in spans]
+        assert flat == sorted(flat)
+
+
+class TestChunkedSum:
+    def test_empty(self):
+        assert chunked_sum([]) == 0.0
+
+    def test_matches_builtin(self):
+        vals = [0.1 * i for i in range(37)]
+        assert chunked_sum(vals) == pytest.approx(sum(vals))
+
+    def test_deterministic(self):
+        vals = list(np.random.default_rng(0).random(100))
+        assert chunked_sum(vals) == chunked_sum(vals)
+
+
+def test_default_workers_env(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "3")
+    assert default_workers() == 3
+    monkeypatch.delenv("REPRO_WORKERS")
+    assert default_workers() >= 1

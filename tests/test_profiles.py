@@ -1,0 +1,66 @@
+"""Tests for Dolan-More performance profiles (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.profiles import performance_profile, profile_table
+
+
+@pytest.fixture()
+def simple_results():
+    # alg A best on g1, alg B best on g2, alg C never best
+    return {
+        "A": {"g1": 10.0, "g2": 30.0},
+        "B": {"g1": 20.0, "g2": 15.0},
+        "C": {"g1": 40.0, "g2": 60.0},
+    }
+
+
+class TestPerformanceProfile:
+    def test_fraction_at_one(self, simple_results):
+        curves = performance_profile(simple_results)
+        assert curves["A"].fraction_at(1.0) == pytest.approx(0.5)
+        assert curves["B"].fraction_at(1.0) == pytest.approx(0.5)
+        assert curves["C"].fraction_at(1.0) == pytest.approx(0.0)
+
+    def test_fraction_at_large_tau(self, simple_results):
+        curves = performance_profile(simple_results)
+        for c in curves.values():
+            assert c.fraction_at(100.0) == pytest.approx(1.0)
+
+    def test_ratios_computed(self, simple_results):
+        curves = performance_profile(simple_results)
+        np.testing.assert_allclose(curves["C"].taus, [4.0, 4.0])
+
+    def test_missing_instance_is_infinite(self):
+        curves = performance_profile({"A": {"g1": 1.0, "g2": 1.0},
+                                      "B": {"g1": 2.0}})
+        assert curves["B"].fraction_at(10.0) == pytest.approx(0.5)
+
+    def test_empty(self):
+        curves = performance_profile({"A": {}})
+        assert curves["A"].taus.size == 0
+        assert curves["A"].area == 0.0
+
+    def test_fractions_monotone(self, simple_results):
+        curves = performance_profile(simple_results)
+        for c in curves.values():
+            assert np.all(np.diff(c.fractions) >= 0)
+
+    def test_area_ranks_better_algorithms_higher(self, simple_results):
+        curves = performance_profile(simple_results)
+        assert curves["A"].area > curves["C"].area
+
+    def test_fraction_below_one_tau(self, simple_results):
+        curves = performance_profile(simple_results)
+        assert curves["A"].fraction_at(0.5) == 0.0
+
+
+class TestProfileTable:
+    def test_rows(self, simple_results):
+        curves = performance_profile(simple_results)
+        rows = profile_table(curves, taus=[1.0, 2.0])
+        assert len(rows) == 3
+        a_row = next(r for r in rows if r["algorithm"] == "A")
+        assert a_row["tau=1"] == pytest.approx(0.5)
+        assert a_row["tau=2"] == pytest.approx(1.0)

@@ -1,0 +1,168 @@
+"""Tests for degeneracy, coreness, components, and the paper's lemmas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.builders import from_edges, to_networkx
+from repro.graphs.generators import (
+    complete_graph,
+    gnm_random,
+    grid_2d,
+    path_graph,
+    planted_kcore,
+    random_tree,
+    star,
+)
+from repro.graphs.properties import (
+    connected_components,
+    coreness,
+    degeneracy,
+    is_bipartite,
+    num_components,
+    peel_degeneracy,
+    stats,
+)
+from repro.graphs.subgraph import degrees_within
+
+from .conftest import graphs
+
+
+class TestPeeling:
+    def test_clique(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+    def test_tree(self):
+        assert degeneracy(random_tree(50, seed=0)) == 1
+
+    def test_star(self):
+        assert degeneracy(star(100)) == 1
+
+    def test_path(self):
+        assert degeneracy(path_graph(10)) == 1
+
+    def test_grid(self):
+        assert degeneracy(grid_2d(8, 8)) == 2
+
+    def test_empty(self):
+        g = from_edges([], [], n=5)
+        assert degeneracy(g) == 0
+
+    def test_order_is_permutation(self):
+        g = gnm_random(60, 180, seed=0)
+        peel = peel_degeneracy(g)
+        np.testing.assert_array_equal(np.sort(peel.order), np.arange(g.n))
+
+    def test_degeneracy_order_property(self):
+        """Every vertex has <= d later-removed (higher-ranked) neighbors."""
+        g = gnm_random(80, 320, seed=1)
+        peel = peel_degeneracy(g)
+        position = np.empty(g.n, dtype=np.int64)
+        position[peel.order] = np.arange(g.n)
+        src, dst = g.edge_array()
+        later = position[dst] > position[src]
+        counts = np.bincount(src[later], minlength=g.n)
+        assert counts.max() <= peel.degeneracy
+
+    def test_coreness_vs_networkx(self):
+        import networkx as nx
+
+        g = gnm_random(70, 220, seed=2)
+        ours = coreness(g)
+        theirs = nx.core_number(to_networkx(g))
+        for v in range(g.n):
+            assert ours[v] == theirs[v]
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_coreness_matches_networkx_property(self, g):
+        import networkx as nx
+
+        ours = coreness(g)
+        theirs = nx.core_number(to_networkx(g))
+        for v in range(g.n):
+            assert ours[v] == theirs[v], f"vertex {v}"
+
+    def test_planted_core_detected(self):
+        g = planted_kcore(60, 7, seed=3)
+        c = coreness(g)
+        assert c[:8].min() == 7  # the clique vertices
+
+
+class TestLemmas:
+    def test_lemma3_avg_degree_of_subgraphs(self):
+        """Every induced subgraph has average degree <= 2d (Lemma 3)."""
+        g = gnm_random(60, 240, seed=4)
+        d = degeneracy(g)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            mask = rng.random(g.n) < 0.6
+            if not mask.any():
+                continue
+            deg_in = degrees_within(g, mask)
+            avg = deg_in[mask].mean()
+            assert avg <= 2 * d + 1e-9
+
+    def test_lemma13_sqrt_m_vs_d(self):
+        """sqrt(m) >= d / 2 (Lemma 13)."""
+        for g in [gnm_random(50, 200, seed=5), complete_graph(12),
+                  grid_2d(9, 9), planted_kcore(40, 6, seed=6)]:
+            assert np.sqrt(g.m) >= degeneracy(g) / 2
+
+    @given(graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_lemma13_property(self, g):
+        if g.m:
+            assert np.sqrt(g.m) >= degeneracy(g) / 2
+
+    def test_d_at_most_delta(self):
+        for g in [gnm_random(40, 160, seed=7), star(30), grid_2d(5, 5)]:
+            assert degeneracy(g) <= max(g.max_degree, 0)
+
+
+class TestComponents:
+    def test_connected(self):
+        g = grid_2d(4, 4)
+        assert num_components(g) == 1
+
+    def test_disconnected(self):
+        g = from_edges([0, 2], [1, 3], n=6)
+        # {0,1}, {2,3}, {4}, {5}
+        assert num_components(g) == 4
+
+    def test_labels_consistent(self):
+        g = from_edges([0, 2], [1, 3], n=4)
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_empty(self):
+        g = from_edges([], [], n=0)
+        assert num_components(g) == 0
+
+
+class TestBipartite:
+    def test_even_ring(self):
+        from repro.graphs.generators import ring
+        assert is_bipartite(ring(10))
+
+    def test_odd_ring(self):
+        from repro.graphs.generators import ring
+        assert not is_bipartite(ring(9))
+
+    def test_tree_bipartite(self):
+        assert is_bipartite(random_tree(40, seed=8))
+
+    def test_clique_not(self):
+        assert not is_bipartite(complete_graph(5))
+
+
+class TestStats:
+    def test_fields(self):
+        g = gnm_random(30, 90, seed=9, name="statgraph")
+        s = stats(g)
+        assert s.name == "statgraph"
+        assert s.n == 30 and s.m == g.m
+        assert s.degeneracy <= s.max_degree
+        assert 0 < s.degeneracy_to_sqrt_m <= 2.0

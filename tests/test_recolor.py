@@ -1,0 +1,96 @@
+"""Tests for the iterated-greedy recoloring post-pass."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.jp import jp_by_name
+from repro.coloring.recolor import (
+    class_block_sequence,
+    iterated_greedy,
+    recolor_pass,
+)
+from repro.coloring.verify import assert_valid_coloring
+from repro.graphs.generators import chung_lu, complete_graph, gnm_random
+
+
+class TestClassBlockSequence:
+    def test_blocks_contiguous(self):
+        colors = np.array([1, 2, 1, 3, 2])
+        seq = class_block_sequence(colors, "reverse")
+        seen = colors[seq]
+        # each color forms one contiguous run
+        changes = np.sum(seen[1:] != seen[:-1])
+        assert changes == 2
+
+    def test_reverse_puts_highest_first(self):
+        colors = np.array([1, 2, 3])
+        seq = class_block_sequence(colors, "reverse")
+        assert colors[seq[0]] == 3
+
+    def test_largest_first(self):
+        colors = np.array([1, 2, 2, 2])
+        seq = class_block_sequence(colors, "largest_first")
+        assert colors[seq[0]] == 2
+
+    def test_random_is_permutation(self):
+        colors = np.array([1, 2, 1, 2])
+        seq = class_block_sequence(colors, "random", seed=1)
+        np.testing.assert_array_equal(np.sort(seq), np.arange(4))
+
+    def test_incomplete_coloring_raises(self):
+        with pytest.raises(ValueError):
+            class_block_sequence(np.array([1, 0]), "reverse")
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError):
+            class_block_sequence(np.array([1]), "bogus")
+
+    def test_empty(self):
+        assert class_block_sequence(np.array([], dtype=np.int64)).size == 0
+
+
+class TestRecolorPass:
+    def test_never_increases_colors(self):
+        """Culberson's invariant, across graphs, strategies, and seeds."""
+        for seed in range(3):
+            g = gnm_random(120, 480, seed=seed)
+            base = jp_by_name(g, "R", seed=seed)
+            for strategy in ["reverse", "largest_first", "random"]:
+                new = recolor_pass(g, base.colors, strategy, seed=seed)
+                assert_valid_coloring(g, new)
+                assert new.max() <= base.num_colors
+
+    def test_clique_fixed_point(self):
+        g = complete_graph(6)
+        colors = np.arange(1, 7)
+        new = recolor_pass(g, colors, "reverse")
+        assert new.max() == 6
+
+
+class TestIteratedGreedy:
+    def test_improves_random_coloring(self):
+        """IG pulls a JP-R coloring toward degeneracy-order quality."""
+        improved = 0
+        for seed in range(4):
+            g = chung_lu(400, 2000, exponent=2.2, seed=seed)
+            base = jp_by_name(g, "R", seed=seed)
+            out = iterated_greedy(g, base, passes=6, seed=seed)
+            assert_valid_coloring(g, out.colors)
+            assert out.num_colors <= base.num_colors
+            improved += out.num_colors < base.num_colors
+        assert improved >= 3
+
+    def test_algorithm_name_tagged(self, small_random):
+        base = jp_by_name(small_random, "R", seed=0)
+        out = iterated_greedy(small_random, base, passes=2)
+        assert out.algorithm == "JP-R+IG"
+
+    def test_invalid_passes(self, small_random):
+        base = jp_by_name(small_random, "R", seed=0)
+        with pytest.raises(ValueError):
+            iterated_greedy(small_random, base, passes=0)
+
+    def test_cost_includes_base(self, small_random):
+        base = jp_by_name(small_random, "R", seed=0)
+        out = iterated_greedy(small_random, base, passes=2)
+        assert out.total_work > base.total_work

@@ -1,0 +1,80 @@
+"""Tests for the Reduce / Count / PrefixSum primitives."""
+
+import numpy as np
+import pytest
+
+from repro.machine.costmodel import CostModel
+from repro.primitives.reduce_ops import (
+    average,
+    count,
+    count_members,
+    reduce_sum,
+    reduce_with,
+)
+from repro.primitives.scan import pack_indices, prefix_sum
+
+
+class TestReduce:
+    def test_reduce_sum(self):
+        assert reduce_sum(np.array([1, 2, 3])) == 6
+
+    def test_reduce_sum_empty(self):
+        assert reduce_sum(np.array([])) == 0
+
+    def test_reduce_sum_charges_cost(self):
+        c = CostModel()
+        reduce_sum(np.arange(16), cost=c)
+        assert c.work == 16 and c.depth == 4
+
+    def test_reduce_with_operator(self):
+        vals = np.array([1, 2, 3, 4])
+        assert reduce_with(vals, lambda x: (x % 2 == 0).astype(int)) == 2
+
+    def test_count(self):
+        assert count(np.array([True, False, True])) == 2
+
+    def test_count_members(self):
+        member = np.zeros(10, dtype=bool)
+        member[[2, 5]] = True
+        assert count_members(np.array([1, 2, 5, 5]), member) == 3
+
+    def test_count_members_empty(self):
+        assert count_members(np.array([], dtype=np.int64),
+                             np.zeros(4, dtype=bool)) == 0
+
+    def test_average(self):
+        assert average(np.array([2, 4, 6])) == pytest.approx(4.0)
+
+    def test_average_empty_raises(self):
+        with pytest.raises(ValueError):
+            average(np.array([]))
+
+
+class TestScan:
+    def test_inclusive(self):
+        np.testing.assert_array_equal(prefix_sum(np.array([1, 2, 3])),
+                                      [1, 3, 6])
+
+    def test_exclusive(self):
+        np.testing.assert_array_equal(
+            prefix_sum(np.array([1, 2, 3]), inclusive=False), [0, 1, 3])
+
+    def test_empty(self):
+        assert prefix_sum(np.array([], dtype=np.int64)).size == 0
+
+    def test_cost_charged(self):
+        c = CostModel()
+        prefix_sum(np.arange(8), cost=c)
+        assert c.work == 16 and c.depth == 6
+
+    def test_pack_indices(self):
+        mask = np.array([True, False, True, True])
+        np.testing.assert_array_equal(pack_indices(mask), [0, 2, 3])
+
+    def test_pack_indices_none(self):
+        assert pack_indices(np.zeros(5, dtype=bool)).size == 0
+
+    def test_pack_indices_cost(self):
+        c = CostModel()
+        pack_indices(np.ones(10, dtype=bool), cost=c)
+        assert c.work > 0 and c.depth > 0

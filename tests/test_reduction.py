@@ -1,0 +1,71 @@
+"""Tests for CR, the color-reduction Class-1 baseline."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.reduction import color_reduction
+from repro.coloring.verify import assert_valid_coloring
+from repro.graphs.generators import complete_graph, gnm_random, ring, star
+
+from .conftest import graph_zoo
+
+
+class TestColorReduction:
+    def test_valid(self, small_random):
+        res = color_reduction(small_random, seed=0)
+        assert_valid_coloring(small_random, res.colors)
+
+    def test_delta_plus_one(self, small_random):
+        res = color_reduction(small_random, seed=0)
+        assert res.num_colors <= small_random.max_degree + 1
+
+    def test_zoo(self):
+        for g in graph_zoo():
+            res = color_reduction(g, seed=1)
+            assert_valid_coloring(g, res.colors)
+            assert res.num_colors <= max(g.max_degree + 1, 1)
+
+    def test_clique(self):
+        res = color_reduction(complete_graph(8), seed=0)
+        assert res.num_colors == 8
+
+    def test_ring(self):
+        res = color_reduction(ring(30), seed=0)
+        assert res.num_colors <= 3
+
+    def test_star_low_colors(self):
+        res = color_reduction(star(20), seed=0)
+        assert res.num_colors <= 21
+
+    def test_deterministic(self, small_random):
+        a = color_reduction(small_random, seed=4)
+        b = color_reduction(small_random, seed=4)
+        np.testing.assert_array_equal(a.colors, b.colors)
+
+    def test_custom_initial(self, small_random):
+        initial = np.arange(1, small_random.n + 1)
+        res = color_reduction(small_random, initial=initial)
+        assert_valid_coloring(small_random, res.colors)
+
+    def test_invalid_initial_raises(self, small_random):
+        with pytest.raises(ValueError):
+            color_reduction(small_random,
+                            initial=np.zeros(small_random.n, dtype=np.int64))
+
+    def test_rounds_reasonable(self):
+        """Local-maxima batching retires classes quickly."""
+        g = gnm_random(400, 1600, seed=5)
+        res = color_reduction(g, seed=0)
+        assert res.rounds <= g.n // 2
+
+    def test_registry(self, small_random):
+        from repro.coloring.registry import color
+        res = color("CR", small_random, seed=0)
+        assert res.algorithm == "CR"
+
+    def test_already_small_initial_is_noop(self):
+        g = ring(6)
+        initial = np.array([1, 2, 1, 2, 1, 2])
+        res = color_reduction(g, initial=initial)
+        np.testing.assert_array_equal(res.colors, initial)
+        assert res.rounds == 0

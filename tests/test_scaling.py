@@ -1,0 +1,62 @@
+"""Tests for the strong/weak scaling drivers (Fig. 2)."""
+
+import pytest
+
+from repro.bench.scaling import strong_scaling, weak_scaling
+from repro.graphs.generators import chung_lu
+
+
+@pytest.fixture(scope="module")
+def strong_points():
+    g = chung_lu(400, 2000, seed=0, name="scaletest")
+    return strong_scaling(g, ["JP-R", "JP-ADG"], [1, 2, 4, 8], seed=0)
+
+
+class TestStrongScaling:
+    def test_point_count(self, strong_points):
+        assert len(strong_points) == 8
+
+    def test_time_decreases_with_processors(self, strong_points):
+        for alg in ["JP-R", "JP-ADG"]:
+            times = [p.sim_time for p in strong_points if p.algorithm == alg]
+            assert times == sorted(times, reverse=True)
+
+    def test_speedup_bounded(self, strong_points):
+        for p in strong_points:
+            assert 1.0 <= p.speedup <= p.processors + 1e-9
+
+    def test_work_constant_across_p(self, strong_points):
+        for alg in ["JP-R", "JP-ADG"]:
+            works = {p.work for p in strong_points if p.algorithm == alg}
+            assert len(works) == 1
+
+    def test_colors_recorded(self, strong_points):
+        assert all(p.colors > 0 for p in strong_points)
+
+    def test_default_processor_counts(self):
+        g = chung_lu(100, 400, seed=1, name="t")
+        pts = strong_scaling(g, ["ITR"], seed=0)
+        assert [p.processors for p in pts] == [1, 2, 4, 8, 16, 32]
+
+
+class TestWeakScaling:
+    @pytest.fixture(scope="class")
+    def weak_points(self):
+        return weak_scaling(["JP-R", "JP-ADG"], scale=8,
+                            edge_factors=[1, 2, 4], seed=0)
+
+    def test_point_count(self, weak_points):
+        assert len(weak_points) == 6
+
+    def test_graph_grows(self, weak_points):
+        works = [p.work for p in weak_points if p.algorithm == "JP-R"]
+        assert works == sorted(works)
+
+    def test_per_processor_load_flat(self, weak_points):
+        """Weak scaling: work/P should grow far slower than work."""
+        pts = [p for p in weak_points if p.algorithm == "JP-R"]
+        loads = [p.work / p.processors for p in pts]
+        assert max(loads) / min(loads) < 4.0
+
+    def test_processors_match_edge_factor(self, weak_points):
+        assert sorted({p.processors for p in weak_points}) == [1, 2, 4]

@@ -1,0 +1,80 @@
+"""Tests for the semi-streaming ADG variant."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import chung_lu, gnm_random, path_graph
+from repro.graphs.properties import degeneracy
+from repro.ordering.adg import adg_ordering, approximation_quality
+from repro.ordering.semi_streaming import (
+    stream_from_arrays,
+    stream_passes_used,
+    streaming_adg,
+)
+
+
+def as_stream(g):
+    u, v = g.undirected_edges()
+    return stream_from_arrays(u, v)
+
+
+class TestStreamingADG:
+    def test_matches_in_memory_levels(self):
+        """The stream version peels the exact same batches as ADG."""
+        for seed in range(3):
+            g = gnm_random(120, 480, seed=seed)
+            mem_levels = adg_ordering(g, eps=0.2, seed=0).levels
+            stream_levels = streaming_adg(as_stream(g), g.n, eps=0.2,
+                                          seed=0).levels
+            np.testing.assert_array_equal(stream_levels, mem_levels)
+
+    def test_approximation_guarantee(self):
+        g = chung_lu(200, 800, seed=1)
+        o = streaming_adg(as_stream(g), g.n, eps=0.1, seed=0)
+        d = degeneracy(g)
+        assert approximation_quality(g, o) <= np.ceil(2.2 * d)
+
+    def test_pass_count_logarithmic(self):
+        g = gnm_random(500, 2500, seed=2)
+        o = streaming_adg(as_stream(g), g.n, eps=0.5, seed=0)
+        # one pass per round plus the degree pass (Lemma 1's O(log n))
+        assert stream_passes_used(o) <= np.ceil(
+            np.log(g.n) / np.log(1.5)) + 2
+
+    def test_ranks_total_order(self):
+        g = path_graph(40)
+        o = streaming_adg(as_stream(g), g.n, eps=0.1, seed=0)
+        o.validate()
+
+    def test_self_loops_ignored(self):
+        stream = stream_from_arrays(np.array([0, 0, 1]),
+                                    np.array([0, 1, 2]))
+        o = streaming_adg(stream, 3, eps=0.1, seed=0)
+        assert o.n == 3
+
+    def test_empty(self):
+        o = streaming_adg(stream_from_arrays(np.array([]), np.array([])), 0)
+        assert o.n == 0
+
+    def test_isolated_vertices(self):
+        o = streaming_adg(stream_from_arrays(np.array([]), np.array([])), 5)
+        assert o.num_levels == 1
+
+    def test_out_of_range_edge_raises(self):
+        stream = stream_from_arrays(np.array([0]), np.array([9]))
+        with pytest.raises(ValueError):
+            streaming_adg(stream, 3)
+
+    def test_negative_eps_raises(self):
+        with pytest.raises(ValueError):
+            streaming_adg(stream_from_arrays(np.array([]), np.array([])),
+                          1, eps=-1)
+
+    def test_jp_on_streamed_order(self):
+        from repro.coloring.jp import jp
+        from repro.coloring.verify import assert_valid_coloring
+        g = gnm_random(150, 600, seed=3)
+        o = streaming_adg(as_stream(g), g.n, eps=0.1, seed=0)
+        res = jp(g, o)
+        assert_valid_coloring(g, res.colors)
+        assert res.num_colors <= np.ceil(2.2 * degeneracy(g)) + 1

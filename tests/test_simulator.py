@@ -1,0 +1,120 @@
+"""Tests for the round-level machine replay simulator."""
+
+import pytest
+
+from repro.machine.brent import simulate
+from repro.machine.costmodel import CostModel
+from repro.machine.simulator import (
+    crossover_processors,
+    replay,
+    replay_curve,
+)
+
+
+def two_round_cost() -> CostModel:
+    c = CostModel()
+    with c.phase("a"):
+        c.round(100, 5)
+    with c.phase("b"):
+        c.round(40, 20)
+    return c
+
+
+class TestReplay:
+    def test_single_processor_time(self):
+        r = replay(two_round_cost(), 1)
+        assert r.time == 100 + 40
+
+    def test_many_processors_floor_at_round_depths(self):
+        r = replay(two_round_cost(), 10_000)
+        assert r.time == 5 + 20
+
+    def test_rounds_sequenced(self):
+        r = replay(two_round_cost(), 4)
+        assert r.rounds[0].start == 0.0
+        assert r.rounds[1].start == r.rounds[0].end
+        assert r.rounds[0].duration == 25  # ceil(100/4) > depth 5
+
+    def test_round_duration_respects_depth(self):
+        r = replay(two_round_cost(), 64)
+        assert r.rounds[1].duration == 20  # depth-bound
+
+    def test_within_brent_sandwich(self):
+        c = two_round_cost()
+        for p in [1, 2, 4, 8, 64]:
+            t = replay(c, p).time
+            agg = simulate(c, p)
+            assert agg.lower_bound - 1e-9 <= t <= agg.time + len(c.round_log)
+
+    def test_empty_run(self):
+        r = replay(CostModel(), 4)
+        assert r.time == 0.0
+        assert r.busy_fraction == 1.0
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            replay(CostModel(), 0)
+
+    def test_phase_times(self):
+        r = replay(two_round_cost(), 1)
+        times = r.phase_times()
+        assert times["a"] == 100 and times["b"] == 40
+        assert r.bottleneck_phase() == "a"
+
+    def test_bottleneck_switches_with_parallelism(self):
+        # at high P the depth-heavy phase dominates
+        r = replay(two_round_cost(), 10_000)
+        assert r.bottleneck_phase() == "b"
+
+    def test_idle_fraction_bounds(self):
+        for p in [1, 3, 9]:
+            r = replay(two_round_cost(), p)
+            assert 0.0 <= r.idle_fraction < 1.0
+
+    def test_idle_grows_with_processors(self):
+        idles = [replay(two_round_cost(), p).idle_fraction
+                 for p in [1, 4, 16, 256]]
+        assert idles == sorted(idles)
+
+    def test_curve_monotone(self):
+        times = [r.time for r in replay_curve(two_round_cost(),
+                                              [1, 2, 4, 8])]
+        assert times == sorted(times, reverse=True)
+
+
+class TestCrossover:
+    def test_parallel_overtakes_sequential(self):
+        seq = CostModel()
+        seq.round(1000, 1000)  # depth-bound
+        par = CostModel()
+        for _ in range(10):
+            par.round(200, 2)  # work-bound, parallelizable
+        p = crossover_processors(par, seq)
+        assert p is not None
+        assert replay(par, p).time < replay(seq, p).time
+
+    def test_never_crosses(self):
+        fast = CostModel()
+        fast.round(10, 1)
+        slow = CostModel()
+        slow.round(1000, 1)
+        assert crossover_processors(slow, fast, max_p=64) is None
+
+
+class TestRealAlgorithmsReplay:
+    def test_jp_adg_replay(self, small_random):
+        from repro.coloring.jp import jp_adg
+        res = jp_adg(small_random, seed=0)
+        cost = res.combined_cost()
+        r1, r32 = replay(cost, 1), replay(cost, 32)
+        assert r32.time < r1.time
+        assert r1.work == cost.work
+
+    def test_jp_adg_beats_jp_sl_at_scale(self):
+        from repro.coloring.jp import jp_by_name
+        from repro.graphs.generators import chung_lu
+        g = chung_lu(1000, 5000, seed=0)
+        adg = jp_by_name(g, "ADG", seed=0).combined_cost()
+        sl = jp_by_name(g, "SL", seed=0).combined_cost()
+        p = crossover_processors(adg, sl)
+        assert p is not None and p <= 64

@@ -1,0 +1,121 @@
+"""Tests for the ITR / ITR-ASL / ITRB speculative baselines."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.speculative import itr, itr_asl, itrb
+from repro.coloring.verify import assert_valid_coloring
+from repro.graphs.generators import (
+    complete_graph,
+    gnm_random,
+    ring,
+    star,
+)
+
+from .conftest import graph_zoo
+
+ALL_FNS = [itr, itr_asl, itrb]
+
+
+@pytest.mark.parametrize("fn", ALL_FNS, ids=lambda f: f.__name__)
+class TestSpeculativeCommon:
+    def test_valid(self, fn, small_random):
+        res = fn(small_random, seed=0)
+        assert_valid_coloring(small_random, res.colors)
+
+    def test_delta_plus_one(self, fn, small_random):
+        res = fn(small_random, seed=0)
+        assert res.num_colors <= small_random.max_degree + 1
+
+    def test_deterministic(self, fn, small_random):
+        a = fn(small_random, seed=9)
+        b = fn(small_random, seed=9)
+        np.testing.assert_array_equal(a.colors, b.colors)
+
+    def test_rounds_recorded(self, fn, small_random):
+        res = fn(small_random, seed=0)
+        assert res.rounds >= 1
+
+    def test_empty_graph(self, fn):
+        from repro.graphs.builders import empty_graph
+        res = fn(empty_graph(0), seed=0)
+        assert res.colors.size == 0
+
+    def test_isolated_vertices(self, fn):
+        from repro.graphs.builders import empty_graph
+        res = fn(empty_graph(6), seed=0)
+        assert np.all(res.colors == 1)
+
+    def test_zoo(self, fn):
+        for g in graph_zoo():
+            res = fn(g, seed=1)
+            assert_valid_coloring(g, res.colors)
+
+
+class TestITR:
+    def test_clique_n_colors(self):
+        res = itr(complete_graph(6), seed=0)
+        assert res.num_colors == 6
+
+    def test_star_two_colors(self):
+        res = itr(star(15), seed=0)
+        assert res.num_colors <= 2
+
+    def test_conflicts_counted(self):
+        g = complete_graph(12)  # everyone picks color 1 in round 1
+        res = itr(g, seed=0)
+        assert res.conflicts_resolved > 0
+
+    def test_max_rounds_enforced(self):
+        g = complete_graph(16)
+        with pytest.raises(RuntimeError):
+            itr(g, seed=0, max_rounds=1)
+
+    def test_converges_in_few_rounds(self):
+        g = gnm_random(500, 2000, seed=0)
+        res = itr(g, seed=0)
+        assert res.rounds <= 30
+
+
+class TestITRASL:
+    def test_records_reorder_cost(self, small_random):
+        res = itr_asl(small_random, seed=0)
+        assert res.reorder_cost is not None
+        assert res.reorder_cost.work > 0
+
+    def test_quality_not_worse_than_random_often(self):
+        """ASL priority tends to produce <= ITR colors on skewed graphs."""
+        from repro.graphs.generators import chung_lu
+        wins = 0
+        for seed in range(5):
+            g = chung_lu(300, 1500, exponent=2.2, seed=seed)
+            a = itr_asl(g, seed=seed).num_colors
+            b = itr(g, seed=seed).num_colors
+            wins += a <= b + 1
+        assert wins >= 3
+
+
+class TestITRB:
+    def test_blocks_param(self, small_random):
+        res = itrb(small_random, seed=0, blocks=4)
+        assert_valid_coloring(small_random, res.colors)
+
+    def test_invalid_blocks(self, small_random):
+        with pytest.raises(ValueError):
+            itrb(small_random, blocks=0)
+
+    def test_fewer_conflicts_than_itr(self):
+        """Block-sequential speculation reduces conflicts (its point)."""
+        g = gnm_random(400, 2400, seed=1)
+        a = itrb(g, seed=0, blocks=16)
+        b = itr(g, seed=0)
+        assert a.conflicts_resolved <= b.conflicts_resolved
+
+    def test_depth_grows_with_blocks(self, small_random):
+        shallow = itrb(small_random, seed=0, blocks=1)
+        deep = itrb(small_random, seed=0, blocks=16)
+        assert deep.cost.depth >= shallow.cost.depth
+
+    def test_max_rounds(self):
+        with pytest.raises(RuntimeError):
+            itrb(complete_graph(30), seed=0, blocks=1, max_rounds=1)

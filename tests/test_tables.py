@@ -1,0 +1,46 @@
+"""Tests for table rendering."""
+
+from repro.analysis.tables import format_markdown, format_table
+
+
+ROWS = [{"name": "a", "value": 1.23456, "flag": True},
+        {"name": "bb", "value": 2.0, "flag": False}]
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(ROWS)
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_float_formatting(self):
+        out = format_table(ROWS)
+        assert "1.23" in out
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_column_selection(self):
+        out = format_table(ROWS, columns=["value"])
+        assert "name" not in out
+
+    def test_missing_key_blank(self):
+        out = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert out  # renders without raising
+
+
+class TestFormatMarkdown:
+    def test_structure(self):
+        out = format_markdown(ROWS)
+        lines = out.splitlines()
+        assert lines[0].startswith("| name")
+        assert lines[1].startswith("| ---")
+        assert len(lines) == 4
+
+    def test_empty(self):
+        assert format_markdown([]) == "(no rows)"
+
+    def test_custom_float_fmt(self):
+        out = format_markdown(ROWS, float_fmt="{:.1f}")
+        assert "1.2" in out and "1.23" not in out

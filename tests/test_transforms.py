@@ -1,0 +1,85 @@
+"""Tests for graph transforms."""
+
+import numpy as np
+
+from repro.graphs.builders import from_edges
+from repro.graphs.generators import gnm_random, grid_2d, star
+from repro.graphs.properties import degeneracy
+from repro.graphs.transforms import (
+    largest_component,
+    relabel_bfs,
+    relabel_by_degree,
+    relabel_random,
+)
+
+
+class TestRelabelByDegree:
+    def test_hub_becomes_zero(self):
+        g = star(8)
+        h = relabel_by_degree(g)
+        assert h.degree(0) == 8
+
+    def test_ascending(self):
+        g = star(8)
+        h = relabel_by_degree(g, descending=False)
+        assert h.degree(h.n - 1) == 8
+
+    def test_structure_preserved(self):
+        g = gnm_random(50, 200, seed=0)
+        h = relabel_by_degree(g)
+        assert h.m == g.m
+        assert degeneracy(h) == degeneracy(g)
+        np.testing.assert_array_equal(np.sort(h.degrees),
+                                      np.sort(g.degrees))
+
+
+class TestRelabelRandom:
+    def test_preserves_structure(self):
+        g = gnm_random(40, 160, seed=1)
+        h = relabel_random(g, seed=2)
+        assert h.m == g.m
+        assert degeneracy(h) == degeneracy(g)
+
+    def test_deterministic(self):
+        g = gnm_random(30, 90, seed=3)
+        a = relabel_random(g, seed=5)
+        b = relabel_random(g, seed=5)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+
+class TestRelabelBfs:
+    def test_source_is_zero(self):
+        g = grid_2d(5, 5)
+        h = relabel_bfs(g, source=12)
+        # the source maps to id 0; its neighbors to small ids
+        assert h.degree(0) == g.degree(12)
+
+    def test_disconnected_appended(self):
+        g = from_edges([0], [1], n=4)
+        h = relabel_bfs(g, source=0)
+        assert h.n == 4 and h.m == 1
+
+    def test_empty(self):
+        g = from_edges([], [], n=0)
+        assert relabel_bfs(g).n == 0
+
+
+class TestLargestComponent:
+    def test_extracts_biggest(self):
+        # components {0..3} (path) and {4,5} (edge)
+        g = from_edges([0, 1, 2, 4], [1, 2, 3, 5], n=6)
+        sub = largest_component(g)
+        assert sub.n == 4 and sub.m == 3
+
+    def test_connected_graph_unchanged(self):
+        g = grid_2d(4, 4)
+        sub = largest_component(g)
+        assert sub.n == g.n and sub.m == g.m
+
+    def test_empty(self):
+        g = from_edges([], [], n=0)
+        assert largest_component(g).n == 0
+
+    def test_isolated_vertices_only(self):
+        g = from_edges([], [], n=5)
+        assert largest_component(g).n == 1

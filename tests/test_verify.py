@@ -1,0 +1,85 @@
+"""Tests for coloring verification utilities."""
+
+import numpy as np
+import pytest
+
+from repro.coloring.verify import (
+    InvalidColoringError,
+    assert_valid_coloring,
+    color_histogram,
+    conflicting_edges,
+    distinct_colors,
+    is_valid_coloring,
+    num_colors,
+    quality_vs_degeneracy,
+)
+from repro.graphs.builders import from_edges
+from repro.graphs.generators import complete_graph, ring
+
+
+def triangle():
+    return from_edges([0, 1, 2], [1, 2, 0])
+
+
+class TestIsValid:
+    def test_valid(self):
+        assert is_valid_coloring(triangle(), np.array([1, 2, 3]))
+
+    def test_conflict(self):
+        assert not is_valid_coloring(triangle(), np.array([1, 1, 2]))
+
+    def test_uncolored_rejected(self):
+        assert not is_valid_coloring(triangle(), np.array([1, 2, 0]))
+
+    def test_uncolored_allowed_flag(self):
+        assert is_valid_coloring(triangle(), np.array([1, 2, 0]),
+                                 allow_uncolored=True)
+
+    def test_uncolored_conflict_ignored(self):
+        g = from_edges([0], [1], n=2)
+        assert is_valid_coloring(g, np.array([0, 0]), allow_uncolored=True)
+
+    def test_wrong_length(self):
+        assert not is_valid_coloring(triangle(), np.array([1, 2]))
+
+
+class TestAssertValid:
+    def test_passes(self):
+        assert_valid_coloring(ring(6), np.array([1, 2] * 3))
+
+    def test_conflict_message(self):
+        with pytest.raises(InvalidColoringError, match="conflicting"):
+            assert_valid_coloring(triangle(), np.array([1, 1, 2]))
+
+    def test_uncolored_message(self):
+        with pytest.raises(InvalidColoringError, match="uncolored"):
+            assert_valid_coloring(triangle(), np.array([0, 1, 2]))
+
+    def test_length_message(self):
+        with pytest.raises(InvalidColoringError, match="length"):
+            assert_valid_coloring(triangle(), np.array([1]))
+
+
+class TestMetrics:
+    def test_num_colors(self):
+        assert num_colors(np.array([1, 3, 2])) == 3
+        assert num_colors(np.array([], dtype=np.int64)) == 0
+
+    def test_distinct_colors(self):
+        assert distinct_colors(np.array([1, 5, 5, 0])) == 2
+
+    def test_conflicting_edges(self):
+        u, v = conflicting_edges(triangle(), np.array([1, 1, 1]))
+        assert u.size == 3
+
+    def test_histogram(self):
+        h = color_histogram(np.array([1, 1, 2, 0]))
+        np.testing.assert_array_equal(h, [1, 2, 1])
+
+    def test_histogram_empty(self):
+        np.testing.assert_array_equal(color_histogram(np.array([])), [0])
+
+    def test_quality_vs_degeneracy(self):
+        g = complete_graph(5)  # d = 4, chromatic = 5
+        q = quality_vs_degeneracy(g, np.arange(1, 6))
+        assert q == pytest.approx(1.0)
