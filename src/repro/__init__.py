@@ -18,6 +18,8 @@ The package is organized as:
 - :mod:`repro.graphs` — CSR substrate, generators, I/O, degeneracy;
 - :mod:`repro.primitives` — PRAM primitives and segment kernels;
 - :mod:`repro.machine` — work-depth cost model, Brent simulation;
+- :mod:`repro.runtime` — ExecutionContext: serial/threaded backends,
+  chunked execution, end-to-end accounting;
 - :mod:`repro.ordering` — FF/R/LF/LLF/SL/SLL/ASL/ID/SD and **ADG**;
 - :mod:`repro.coloring` — Greedy, JP-*, ITR family, SIM-COL, **JP-ADG**,
   **DEC-ADG**, **DEC-ADG-ITR**;
@@ -70,6 +72,7 @@ from .ordering import (
     adg_ordering,
     get_ordering,
 )
+from .runtime import ExecutionContext, default_backend
 
 __version__ = "1.0.0"
 
@@ -87,6 +90,8 @@ __all__ = [
     "star", "stats",
     # machine
     "CostModel", "MemoryModel", "simulate",
+    # runtime
+    "ExecutionContext", "default_backend",
     # ordering
     "ORDERINGS", "Ordering", "adg_m_ordering", "adg_ordering", "get_ordering",
 ]

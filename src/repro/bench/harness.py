@@ -39,6 +39,9 @@ class RunRecord:
     wall_seconds: float
     reorder_wall_seconds: float
     sim_time_32: float
+    backend: str = "serial"
+    workers: int = 1
+    phase_walls: dict = field(default_factory=dict)
 
     @classmethod
     def from_result(cls, g: CSRGraph, d: int, res: ColoringResult,
@@ -56,6 +59,8 @@ class RunRecord:
             wall_seconds=res.total_wall_seconds,
             reorder_wall_seconds=res.reorder_wall_seconds,
             sim_time_32=simulate(res.combined_cost(), 32).time,
+            backend=res.backend, workers=res.workers,
+            phase_walls=dict(res.phase_walls),
         )
 
     def as_dict(self) -> dict:
@@ -101,12 +106,18 @@ def run_suite(graphs: dict[str, CSRGraph],
               algorithms: list[str] | None = None,
               eps: float = 0.01, seed: int = 0,
               validate: bool = True,
-              algorithm_kwargs: dict[str, dict] | None = None) -> SuiteResult:
+              algorithm_kwargs: dict[str, dict] | None = None,
+              backend: str | None = None,
+              workers: int | None = None) -> SuiteResult:
     """Run each algorithm on each graph; returns all records.
 
     ``algorithm_kwargs`` maps algorithm name -> extra keyword arguments
     (e.g. ``{"JP-ADG": {"eps": 0.1}}``).  ADG-based algorithms receive
-    ``eps`` unless overridden.
+    ``eps`` unless overridden.  ``backend``/``workers`` select the
+    execution runtime for every backend-aware algorithm; each record
+    reports the backend, worker count, and per-phase wall times the run
+    actually used, so serial and threaded trajectories are comparable
+    row by row.
     """
     if algorithms is None:
         algorithms = sorted(ALGORITHMS)
@@ -119,7 +130,7 @@ def run_suite(graphs: dict[str, CSRGraph],
             kwargs.setdefault("seed", seed)
             if alg in ("JP-ADG", "DEC-ADG-ITR"):
                 kwargs.setdefault("eps", eps)
-            res = color(alg, g, **kwargs)
+            res = color(alg, g, backend=backend, workers=workers, **kwargs)
             if validate:
                 assert_valid_coloring(g, res.colors)
             eff_eps = kwargs.get("eps", eps)

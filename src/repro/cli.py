@@ -67,7 +67,8 @@ def cmd_color(args: argparse.Namespace) -> int:
     kwargs: dict = {"seed": args.seed}
     if args.algorithm in ("JP-ADG", "DEC-ADG-ITR"):
         kwargs["eps"] = args.eps
-    res = color(args.algorithm, g, **kwargs)
+    res = color(args.algorithm, g, backend=args.backend,
+                workers=args.workers, **kwargs)
     assert_valid_coloring(g, res.colors)
     summary = res.summary()
     summary["graph"] = g.name
@@ -84,11 +85,14 @@ def cmd_color(args: argparse.Namespace) -> int:
 
 
 def cmd_order(args: argparse.Namespace) -> int:
+    from .runtime import ExecutionContext
+
     g = load_graph(args)
     kwargs: dict = {"seed": args.seed}
     if args.ordering in ("ADG", "ADG-M"):
         kwargs["eps"] = args.eps
-    o = get_ordering(args.ordering, g, **kwargs)
+    with ExecutionContext(backend=args.backend, workers=args.workers) as ctx:
+        o = get_ordering(args.ordering, g, ctx=ctx, **kwargs)
     d = degeneracy(g)
     row = {
         "ordering": o.name, "graph": g.name, "n": g.n, "m": g.m,
@@ -191,13 +195,14 @@ def cmd_suite(args: argparse.Namespace) -> int:
     graphs = suite(args.suite)
     algorithms = args.algorithms.split(",") if args.algorithms else None
     result = run_suite(graphs, algorithms=algorithms, eps=args.eps,
-                       seed=args.seed)
+                       seed=args.seed, backend=args.backend,
+                       workers=args.workers)
     rows = result.as_rows()
     if args.json:
         print(json.dumps(rows))
     else:
         cols = ["graph", "algorithm", "colors", "quality_bound", "work",
-                "depth", "sim_time_32"]
+                "depth", "sim_time_32", "backend", "workers"]
         print(format_table(rows, columns=cols))
     return 0
 
@@ -217,6 +222,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--eps", type=float, default=0.01)
         p.add_argument("--json", action="store_true",
                        help="machine-readable output")
+        p.add_argument("--backend", choices=["serial", "threaded"],
+                       default=None,
+                       help="execution backend (default: $REPRO_BACKEND "
+                            "or serial); colors are backend-independent")
+        p.add_argument("--workers", type=int, default=None,
+                       help="threaded-backend worker count "
+                            "(default: $REPRO_WORKERS or CPU count)")
 
     p_color = sub.add_parser("color", help="run a coloring algorithm")
     common(p_color)

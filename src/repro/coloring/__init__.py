@@ -19,6 +19,7 @@ from .jp import (
     jp_by_name,
     jp_color,
     longest_dag_path,
+    validate_ranks,
 )
 from .mis import luby_coloring, luby_mis
 from .recolor import class_block_sequence, iterated_greedy, recolor_pass
@@ -48,7 +49,8 @@ from .verify import (
 __all__ = [
     "ColoringResult",
     "jp", "jp_color", "jp_by_name", "jp_adg", "jp_adg_m", "jp_adg_fused",
-    "longest_dag_path", "chromatic_number", "optimal_coloring",
+    "longest_dag_path", "validate_ranks",
+    "chromatic_number", "optimal_coloring",
     "class_block_sequence", "iterated_greedy", "recolor_pass",
     "greedy", "greedy_by_name", "greedy_color_sequence",
     "itr", "itr_asl", "itrb", "sim_col", "dec_adg", "dec_adg_m", "dec_adg_itr",

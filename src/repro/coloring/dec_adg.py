@@ -7,6 +7,11 @@ Partitions are colored from the highest level down with SIM-COL
 (mu = eps/4), while per-vertex bitmaps carry the colors already taken
 by higher-partition neighbors.  Quality: (2 + eps) d colors for
 0 < eps <= 8 (Claim 2); runtime bounds hold for 4 < eps (mu > 1).
+
+Partitions depend on each other (lower levels read higher levels'
+colors), so the level loop is sequential; *within* a level the
+degree-count and bitmap gathers, and every SIM-COL round, are chunked
+through the execution context — the same map_chunks seam as JP and ADG.
 """
 
 from __future__ import annotations
@@ -17,16 +22,53 @@ import numpy as np
 
 from ..graphs.csr import CSRGraph
 from ..graphs.subgraph import induced_subgraph
-from ..machine.costmodel import CostModel, log2_ceil
-from ..machine.memmodel import MemoryModel
+from ..machine.costmodel import log2_ceil
 from ..ordering.adg import adg_ordering
+from ..runtime import ExecutionContext, resolve_context
 from .result import ColoringResult
 from .simcol import sim_col
 
 
+def partition_constraints(g: CSRGraph, verts: np.ndarray, levels: np.ndarray,
+                          level: int, colors: np.ndarray,
+                          ctx: ExecutionContext,
+                          phase: str) -> tuple[np.ndarray, np.ndarray,
+                                               np.ndarray]:
+    """Per-partition gather, chunked: deg_l counts and taken colors.
+
+    Returns ``(counts_ge, taken, owners)`` where ``counts_ge[i]`` is the
+    number of neighbors of ``verts[i]`` in this or higher partitions,
+    and ``(owners, taken)`` lists the (local vertex, color) pairs taken
+    by strictly-higher-partition neighbors (color 0 entries included;
+    the caller filters by its bitmap width).
+    """
+    def level_chunk(lo: int, hi: int):
+        part = verts[lo:hi]
+        seg, nbrs = g.batch_neighbors(part)
+        cg = np.zeros(part.size, dtype=np.int64)
+        np.add.at(cg, seg[levels[nbrs] >= level], 1)
+        higher = levels[nbrs] > level
+        return cg, seg[higher] + lo, colors[nbrs[higher]], nbrs.size
+
+    results = ctx.map_chunks(level_chunk, verts.size)
+    counts_ge = np.concatenate([r[0] for r in results]) if results else \
+        np.empty(0, dtype=np.int64)
+    owners = np.concatenate([r[1] for r in results]) if results else \
+        np.empty(0, dtype=np.int64)
+    taken = np.concatenate([r[2] for r in results]) if results else \
+        np.empty(0, dtype=np.int64)
+    nbrs_total = sum(r[3] for r in results)
+    ctx.cost.round(nbrs_total + verts.size, log2_ceil(max(g.max_degree, 1)))
+    ctx.mem.gather(nbrs_total, phase)
+    return counts_ge, taken, owners
+
+
 def dec_adg(g: CSRGraph, eps: float = 6.0, seed: int | None = 0,
             variant: str = "avg", update: str = "push",
-            max_rounds: int | None = None) -> ColoringResult:
+            max_rounds: int | None = None,
+            ctx: ExecutionContext | None = None,
+            backend: str | None = None,
+            workers: int | None = None) -> ColoringResult:
     """Run DEC-ADG (or DEC-ADG-M with ``variant='median'``).
 
     ``update='pull'`` uses the CREW ADG (Alg. 2) for the decomposition,
@@ -38,65 +80,66 @@ def dec_adg(g: CSRGraph, eps: float = 6.0, seed: int | None = 0,
     rng = np.random.default_rng(seed)
     mu = eps / 4.0
 
-    t0 = time.perf_counter()
-    ordering = adg_ordering(g, eps=eps / 12.0, variant=variant,
-                            update=update, seed=seed)
-    reorder_wall = time.perf_counter() - t0
+    ctx, owns = resolve_context(ctx, backend=backend, workers=workers)
+    try:
+        t0 = time.perf_counter()
+        ordering = adg_ordering(g, eps=eps / 12.0, variant=variant,
+                                update=update, seed=seed, ctx=ctx)
+        reorder_wall = time.perf_counter() - t0
 
-    cost = CostModel()
-    mem = MemoryModel()
-    n = g.n
-    colors = np.zeros(n, dtype=np.int64)
-    levels = ordering.levels
-    assert levels is not None
-    partitions = ordering.level_partitions()
-    rounds_total = 0
+        cost, mem = ctx.cost, ctx.mem
+        n = g.n
+        colors = np.zeros(n, dtype=np.int64)
+        levels = ordering.levels
+        assert levels is not None
+        partitions = ordering.level_partitions()
+        rounds_total = 0
 
-    t0 = time.perf_counter()
-    with cost.phase("dec:color"):
-        for level in range(ordering.num_levels, 0, -1):
-            verts = partitions[level - 1]
-            if verts.size == 0:
-                continue
-            sub = induced_subgraph(g, verts)
+        t0 = time.perf_counter()
+        with ctx.phase("dec:color"):
+            for level in range(ordering.num_levels, 0, -1):
+                verts = partitions[level - 1]
+                if verts.size == 0:
+                    continue
+                sub = induced_subgraph(g, verts)
 
-            # deg_l(v): neighbors in this or higher partitions.
-            seg, nbrs = g.batch_neighbors(verts)
-            counts_ge = np.zeros(verts.size, dtype=np.int64)
-            np.add.at(counts_ge, seg[levels[nbrs] >= level], 1)
-            cost.round(nbrs.size + verts.size, log2_ceil(max(g.max_degree, 1)))
-            mem.gather(nbrs.size, "dec:color")
+                # deg_l(v) and the B_v bitmaps: colors taken by
+                # higher-partition neighbors.
+                counts_ge, taken, owners = partition_constraints(
+                    g, verts, levels, level, colors, ctx, "dec:color")
+                width = int(np.ceil(
+                    (1.0 + mu) * max(1, int(counts_ge.max())))) + 2
+                forbidden = np.zeros((verts.size, width), dtype=bool)
+                # Colors at or above the bitmap width can never be drawn
+                # by a vertex of this partition (its range is capped
+                # below width), so they are irrelevant and safely dropped.
+                keep = (taken > 0) & (taken < width)
+                forbidden[owners[keep], taken[keep]] = True
+                cost.scatter_decrement(int(keep.sum()))
+                mem.gather(int(keep.sum()), "dec:color")
 
-            # B_v bitmaps: colors taken by higher-partition neighbors.
-            width = int(np.ceil((1.0 + mu) * max(1, int(counts_ge.max())))) + 2
-            forbidden = np.zeros((verts.size, width), dtype=bool)
-            higher = levels[nbrs] > level
-            taken = colors[nbrs[higher]]
-            owners = seg[higher]
-            # Colors at or above the bitmap width can never be drawn by a
-            # vertex of this partition (its range is capped below width),
-            # so they are irrelevant and safely dropped.
-            keep = (taken > 0) & (taken < width)
-            forbidden[owners[keep], taken[keep]] = True
-            cost.scatter_decrement(int(keep.sum()))
-            mem.gather(int(keep.sum()), "dec:color")
+                local_colors, rounds = sim_col(sub.graph, counts_ge, forbidden,
+                                               mu, rng, ctx=ctx,
+                                               max_rounds=max_rounds)
+                colors[verts] = local_colors
+                rounds_total += rounds
+        wall = time.perf_counter() - t0
 
-            local_colors, rounds = sim_col(sub.graph, counts_ge, forbidden,
-                                           mu, rng, cost=cost, mem=mem,
-                                           max_rounds=max_rounds)
-            colors[verts] = local_colors
-            rounds_total += rounds
-    wall = time.perf_counter() - t0
-
-    name = "DEC-ADG" if variant == "avg" else "DEC-ADG-M"
-    return ColoringResult(algorithm=name, colors=colors, cost=cost, mem=mem,
-                          reorder_cost=ordering.cost, reorder_mem=ordering.mem,
-                          rounds=rounds_total, wall_seconds=wall,
-                          reorder_wall_seconds=reorder_wall)
+        name = "DEC-ADG" if variant == "avg" else "DEC-ADG-M"
+        return ColoringResult(algorithm=name, colors=colors, cost=cost,
+                              mem=mem, reorder_cost=ordering.cost,
+                              reorder_mem=ordering.mem, rounds=rounds_total,
+                              wall_seconds=wall,
+                              reorder_wall_seconds=reorder_wall,
+                              backend=ctx.backend, workers=ctx.workers,
+                              phase_walls=dict(ctx.wall_by_phase))
+    finally:
+        if owns:
+            ctx.close()
 
 
 def dec_adg_m(g: CSRGraph, eps: float = 6.0, seed: int | None = 0,
-              max_rounds: int | None = None) -> ColoringResult:
+              max_rounds: int | None = None, **kwargs) -> ColoringResult:
     """DEC-ADG-M: the median-threshold variant ((4+eps)d quality)."""
     return dec_adg(g, eps=eps, seed=seed, variant="median",
-                   max_rounds=max_rounds)
+                   max_rounds=max_rounds, **kwargs)

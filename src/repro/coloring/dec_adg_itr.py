@@ -7,6 +7,11 @@ between same-round neighbors are resolved by a random priority; because
 every vertex has at most k*d = 2(1+eps)*d constraining neighbors, the
 smallest free color never exceeds k*d + 1, giving the 2(1+eps)d + 1
 quality bound with ITR's practical speed.
+
+As in DEC-ADG the level loop is sequential, and the per-round trial
+coloring / conflict detection inside each partition is chunked through
+the execution context; colors and accounting are bit-identical across
+backends (the scheme is deterministic given the priority permutation).
 """
 
 from __future__ import annotations
@@ -17,18 +22,20 @@ import numpy as np
 
 from ..graphs.csr import CSRGraph
 from ..graphs.subgraph import induced_subgraph
-from ..machine.costmodel import CostModel, log2_ceil
-from ..machine.memmodel import MemoryModel
+from ..machine.costmodel import log2_ceil
 from ..ordering.adg import adg_ordering
 from ..ordering.base import random_tiebreak
 from ..primitives.kernels import segment_any
+from ..runtime import ExecutionContext, resolve_context
+from .dec_adg import partition_constraints
 from .result import ColoringResult
 
 
 def _itr_partition(part: CSRGraph, forbidden: np.ndarray,
-                   priority: np.ndarray, cost: CostModel, mem: MemoryModel,
+                   priority: np.ndarray, ctx: ExecutionContext,
                    max_rounds: int | None) -> tuple[np.ndarray, int, int]:
     """ITR rounds within one partition, colors constrained by ``forbidden``."""
+    cost, mem = ctx.cost, ctx.mem
     n = part.n
     colors = np.zeros(n, dtype=np.int64)
     if n == 0:
@@ -37,98 +44,129 @@ def _itr_partition(part: CSRGraph, forbidden: np.ndarray,
     rounds = 0
     conflicts = 0
     limit = max_rounds if max_rounds is not None else 4 * n + 64
+    width = forbidden.shape[1]
 
     while active.size:
         rounds += 1
         if rounds > limit:
             raise RuntimeError("DEC-ADG-ITR failed to converge")
+
         # Smallest color not forbidden for each active vertex: the first
         # False in its bitmap row (column 0 is the unused color 0).
-        rows = forbidden[active]
-        rows[:, 0] = True
-        colors[active] = np.argmin(rows, axis=1)
-        cost.round(active.size * rows.shape[1],
-                   log2_ceil(max(rows.shape[1], 1)))
-        mem.stream(active.size * rows.shape[1], "dec-itr")
+        def choose_chunk(lo: int, hi: int, active=active):
+            mine = active[lo:hi]
+            rows = forbidden[mine]  # fancy indexing: a copy
+            rows[:, 0] = True
+            return np.argmin(rows, axis=1)
+
+        chosen = ctx.map_chunks(choose_chunk, active.size)
+        colors[active] = np.concatenate(chosen) if chosen else \
+            np.empty(0, dtype=np.int64)
+        cost.round(active.size * width, log2_ceil(max(width, 1)))
+        mem.stream(active.size * width, "dec-itr")
 
         # Conflict detection among same-round neighbors.
-        seg, nbrs = part.batch_neighbors(active)
         still = np.zeros(n, dtype=bool)
         still[active] = True
-        same = (colors[nbrs] == colors[active[seg]]) & still[nbrs]
-        loses = same & (priority[nbrs] > priority[active[seg]])
-        lost = segment_any(loses, seg, active.size)
-        md = int(np.bincount(seg, minlength=active.size).max()) \
-            if nbrs.size else 0
-        cost.round(nbrs.size + active.size, log2_ceil(max(md, 1)) + 1)
-        mem.gather(nbrs.size, "dec-itr")
+
+        def conflict_chunk(lo: int, hi: int, active=active, still=still):
+            mine = active[lo:hi]
+            seg, nbrs = part.batch_neighbors(mine)
+            same = (colors[nbrs] == colors[mine[seg]]) & still[nbrs]
+            loses = same & (priority[nbrs] > priority[mine[seg]])
+            lost = segment_any(loses, seg, mine.size)
+            md = int(np.bincount(seg, minlength=mine.size).max()) \
+                if nbrs.size else 0
+            return lost, seg, nbrs, md
+
+        results = ctx.map_chunks(conflict_chunk, active.size)
+        lost = np.concatenate([r[0] for r in results]) if results else \
+            np.empty(0, dtype=bool)
+        nbrs_total = sum(r[2].size for r in results)
+        md = max((r[3] for r in results), default=0)
+        cost.round(nbrs_total + active.size, log2_ceil(max(md, 1)) + 1)
+        mem.gather(nbrs_total, "dec-itr")
         losers = active[lost]
         colors[losers] = 0
         conflicts += losers.size
 
-        # Record newly committed colors in active neighbors' bitmaps.
-        committed_nbr = (colors[nbrs] > 0) & still[nbrs]
-        forbidden[active[seg[committed_nbr]], colors[nbrs[committed_nbr]]] = True
-        cost.scatter_decrement(int(committed_nbr.sum()))
+        # Record newly committed colors in active neighbors' bitmaps —
+        # after the losers are reset, so only kept colors are forbidden.
+        offset = 0
+        committed_total = 0
+        for chunk_lost, seg, nbrs, _ in results:
+            mine = active[offset:offset + chunk_lost.size]
+            committed_nbr = (colors[nbrs] > 0) & still[nbrs]
+            forbidden[mine[seg[committed_nbr]],
+                      colors[nbrs[committed_nbr]]] = True
+            committed_total += int(committed_nbr.sum())
+            offset += chunk_lost.size
+        cost.scatter_decrement(committed_total)
         active = losers
     return colors, rounds, conflicts
 
 
 def dec_adg_itr(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
                 variant: str = "avg", max_rounds: int | None = None,
-                ) -> ColoringResult:
+                ctx: ExecutionContext | None = None,
+                backend: str | None = None,
+                workers: int | None = None) -> ColoringResult:
     """Run DEC-ADG-ITR (quality <= 2(1+eps)d + 1)."""
     if eps < 0:
         raise ValueError(f"eps must be >= 0, got {eps}")
-    t0 = time.perf_counter()
-    ordering = adg_ordering(g, eps=eps, variant=variant, seed=seed)
-    reorder_wall = time.perf_counter() - t0
+    ctx, owns = resolve_context(ctx, backend=backend, workers=workers)
+    try:
+        t0 = time.perf_counter()
+        ordering = adg_ordering(g, eps=eps, variant=variant, seed=seed,
+                                ctx=ctx)
+        reorder_wall = time.perf_counter() - t0
 
-    cost = CostModel()
-    mem = MemoryModel()
-    n = g.n
-    colors = np.zeros(n, dtype=np.int64)
-    levels = ordering.levels
-    assert levels is not None
-    partitions = ordering.level_partitions()
-    priority_global = random_tiebreak(n, seed)
-    rounds_total = 0
-    conflicts_total = 0
+        cost, mem = ctx.cost, ctx.mem
+        n = g.n
+        colors = np.zeros(n, dtype=np.int64)
+        levels = ordering.levels
+        assert levels is not None
+        partitions = ordering.level_partitions()
+        priority_global = random_tiebreak(n, seed)
+        rounds_total = 0
+        conflicts_total = 0
 
-    t0 = time.perf_counter()
-    with cost.phase("dec-itr:color"):
-        for level in range(ordering.num_levels, 0, -1):
-            verts = partitions[level - 1]
-            if verts.size == 0:
-                continue
-            sub = induced_subgraph(g, verts)
+        t0 = time.perf_counter()
+        with ctx.phase("dec-itr:color"):
+            for level in range(ordering.num_levels, 0, -1):
+                verts = partitions[level - 1]
+                if verts.size == 0:
+                    continue
+                sub = induced_subgraph(g, verts)
 
-            # deg_l(v) bounds the bitmap width: mex never exceeds degl + 1.
-            seg, nbrs = g.batch_neighbors(verts)
-            counts_ge = np.zeros(verts.size, dtype=np.int64)
-            np.add.at(counts_ge, seg[levels[nbrs] >= level], 1)
-            width = int(counts_ge.max(initial=0)) + 3
-            cost.round(nbrs.size + verts.size, log2_ceil(max(g.max_degree, 1)))
-            mem.gather(nbrs.size, "dec-itr")
+                # deg_l(v) bounds the bitmap width: mex never exceeds
+                # degl + 1.
+                counts_ge, taken, owners = partition_constraints(
+                    g, verts, levels, level, colors, ctx, "dec-itr")
+                width = int(counts_ge.max(initial=0)) + 3
 
-            forbidden = np.zeros((verts.size, width), dtype=bool)
-            higher = levels[nbrs] > level
-            taken = colors[nbrs[higher]]
-            owners = seg[higher]
-            keep = (taken > 0) & (taken < width)
-            forbidden[owners[keep], taken[keep]] = True
-            cost.scatter_decrement(int(keep.sum()))
+                forbidden = np.zeros((verts.size, width), dtype=bool)
+                keep = (taken > 0) & (taken < width)
+                forbidden[owners[keep], taken[keep]] = True
+                cost.scatter_decrement(int(keep.sum()))
 
-            local_colors, rounds, conflicts = _itr_partition(
-                sub.graph, forbidden, priority_global[verts], cost, mem,
-                max_rounds)
-            colors[verts] = local_colors
-            rounds_total += rounds
-            conflicts_total += conflicts
-    wall = time.perf_counter() - t0
+                local_colors, rounds, conflicts = _itr_partition(
+                    sub.graph, forbidden, priority_global[verts], ctx,
+                    max_rounds)
+                colors[verts] = local_colors
+                rounds_total += rounds
+                conflicts_total += conflicts
+        wall = time.perf_counter() - t0
 
-    name = "DEC-ADG-ITR" if variant == "avg" else "DEC-ADG-ITR-M"
-    return ColoringResult(algorithm=name, colors=colors, cost=cost, mem=mem,
-                          reorder_cost=ordering.cost, reorder_mem=ordering.mem,
-                          rounds=rounds_total, conflicts_resolved=conflicts_total,
-                          wall_seconds=wall, reorder_wall_seconds=reorder_wall)
+        name = "DEC-ADG-ITR" if variant == "avg" else "DEC-ADG-ITR-M"
+        return ColoringResult(algorithm=name, colors=colors, cost=cost,
+                              mem=mem, reorder_cost=ordering.cost,
+                              reorder_mem=ordering.mem, rounds=rounds_total,
+                              conflicts_resolved=conflicts_total,
+                              wall_seconds=wall,
+                              reorder_wall_seconds=reorder_wall,
+                              backend=ctx.backend, workers=ctx.workers,
+                              phase_walls=dict(ctx.wall_by_phase))
+    finally:
+        if owns:
+            ctx.close()

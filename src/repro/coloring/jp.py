@@ -8,6 +8,15 @@ predecessor path has length k, so the number of waves is 1 plus the
 longest path of G_rho — the quantity the paper's depth analysis bounds
 (Lemma 7 for rho = ADG).
 
+One engine serves both runtime backends: each wave's GetColor is
+chunked through :meth:`ExecutionContext.map_chunks`.  Within a wave
+every frontier vertex reads only *fixed* colors (its predecessors
+finished in earlier waves), so frontier chunks are independent and
+NumPy releases the GIL inside the kernels; the successor notifications
+are combined in chunk order after the chunks return (DecrementAndFetch
+on a shared array is not thread-safe).  Colors, waves, and the recorded
+work/depth/memory totals are bit-identical across backends.
+
 Combined with the ordering registry this yields JP-FF, JP-R, JP-LF,
 JP-LLF, JP-SL, JP-SLL, JP-ASL, and the paper's JP-ADG / JP-ADG-M.
 """
@@ -21,24 +30,16 @@ import numpy as np
 from ..graphs.csr import CSRGraph
 from ..machine.costmodel import CostModel, log2_ceil
 from ..machine.memmodel import MemoryModel
-from ..machine.parallel import ParallelContext
 from ..ordering.base import Ordering
 from ..ordering.registry import get_ordering
 from ..primitives.atomics import decrement_and_fetch
 from ..primitives.kernels import grouped_mex
+from ..runtime import ExecutionContext, resolve_context
 from .result import ColoringResult
 
 
-def jp_color(g: CSRGraph, ranks: np.ndarray,
-             cost: CostModel | None = None,
-             mem: MemoryModel | None = None,
-             pred_counts: np.ndarray | None = None) -> tuple[np.ndarray, int]:
-    """Color ``g`` under the total order ``ranks``; returns (colors, waves).
-
-    ``pred_counts`` (per-vertex number of higher-ranked neighbors) lets
-    the caller skip Part 1 of Alg. 3 — the fused JP-ADG of SS V-C, where
-    ADG's UPDATE already produced the DAG in-degrees.
-    """
+def validate_ranks(g: CSRGraph, ranks: np.ndarray) -> np.ndarray:
+    """Check that ``ranks`` is a total order over ``g``'s vertices."""
     ranks = np.asarray(ranks, dtype=np.int64)
     if ranks.size != g.n:
         raise ValueError("ranks length must equal n")
@@ -46,150 +47,161 @@ def jp_color(g: CSRGraph, ranks: np.ndarray,
         # A rank collision between neighbors would let JP color them in
         # the same wave with the same mex result — an invalid coloring.
         raise ValueError("ranks must be distinct (a total order)")
-    cost = cost if cost is not None else CostModel()
-    mem = mem if mem is not None else MemoryModel()
-    n = g.n
-    colors = np.zeros(n, dtype=np.int64)
-    if n == 0:
-        return colors, 0
-
-    if pred_counts is not None:
-        count = np.asarray(pred_counts, dtype=np.int64).copy()
-        if count.size != n:
-            raise ValueError("pred_counts length must equal n")
-    else:
-        with cost.phase("jp:dag"):
-            # Part 1: predecessor counts of the DAG G_rho.
-            src, dst = g.edge_array()
-            count = np.bincount(src[ranks[dst] > ranks[src]],
-                                minlength=n).astype(np.int64)
-            cost.round(n + 2 * g.m, log2_ceil(max(g.max_degree, 1)))
-            mem.stream(n, "jp:dag")
-            mem.gather(2 * g.m, "jp:dag")
-
-    frontier = np.flatnonzero(count == 0).astype(np.int64)
-    waves = 0
-    with cost.phase("jp:color"):
-        while frontier.size:
-            waves += 1
-            seg, nbrs = g.batch_neighbors(frontier)
-            mem.gather(nbrs.size, "jp:color")
-            is_pred = ranks[nbrs] > ranks[frontier[seg]]
-            # GetColor for the whole wave at once.
-            colors[frontier] = grouped_mex(seg[is_pred],
-                                           colors[nbrs[is_pred]],
-                                           frontier.size)
-            wave_deg = int(np.bincount(seg, minlength=frontier.size).max()) \
-                if nbrs.size else 0
-            cost.round(nbrs.size + frontier.size,
-                       log2_ceil(max(wave_deg, 1)) + 1)
-            # Join: notify successors, release the ones that hit zero.
-            succ = nbrs[~is_pred]
-            frontier = decrement_and_fetch(count, succ, cost=cost)
-    if np.any(colors == 0):
-        raise RuntimeError("JP left vertices uncolored; ranks not a total order?")
-    return colors, waves
+    return ranks
 
 
-def jp_color_parallel(g: CSRGraph, ranks: np.ndarray, workers: int = 2,
-                      pred_counts: np.ndarray | None = None,
-                      ) -> tuple[np.ndarray, int]:
-    """Thread-parallel JP: each wave's GetColor is chunked over a pool.
-
-    Within a wave every frontier vertex reads only *fixed* colors (its
-    predecessors finished in earlier waves), so frontier chunks are
-    independent and NumPy releases the GIL inside the kernels.  The
-    successor notifications are combined serially after the chunks
-    return (the DecrementAndFetch reduction is not thread-safe on a
-    shared array).  Produces bit-identical colors to :func:`jp_color`.
-    """
-    ranks = np.asarray(ranks, dtype=np.int64)
-    if ranks.size != g.n:
-        raise ValueError("ranks length must equal n")
-    if ranks.size and np.unique(ranks).size != ranks.size:
-        raise ValueError("ranks must be distinct (a total order)")
-    n = g.n
-    colors = np.zeros(n, dtype=np.int64)
-    if n == 0:
-        return colors, 0
-    if pred_counts is not None:
-        count = np.asarray(pred_counts, dtype=np.int64).copy()
-    else:
+def dag_pred_counts(g: CSRGraph, ranks: np.ndarray,
+                    ctx: ExecutionContext) -> np.ndarray:
+    """Part 1 of Alg. 3: per-vertex predecessor counts of the DAG G_rho."""
+    with ctx.phase("jp:dag"):
         src, dst = g.edge_array()
         count = np.bincount(src[ranks[dst] > ranks[src]],
-                            minlength=n).astype(np.int64)
+                            minlength=g.n).astype(np.int64)
+        ctx.cost.round(g.n + 2 * g.m, log2_ceil(max(g.max_degree, 1)))
+        ctx.mem.stream(g.n, "jp:dag")
+        ctx.mem.gather(2 * g.m, "jp:dag")
+    return count
 
-    waves = 0
-    with ParallelContext(workers) as ctx:
+
+def jp_color(g: CSRGraph, ranks: np.ndarray,
+             cost: CostModel | None = None,
+             mem: MemoryModel | None = None,
+             pred_counts: np.ndarray | None = None,
+             ctx: ExecutionContext | None = None,
+             backend: str | None = None,
+             workers: int | None = None) -> tuple[np.ndarray, int]:
+    """Color ``g`` under the total order ``ranks``; returns (colors, waves).
+
+    ``pred_counts`` (per-vertex number of higher-ranked neighbors) lets
+    the caller skip Part 1 of Alg. 3 — the fused JP-ADG of SS V-C, where
+    ADG's UPDATE already produced the DAG in-degrees.
+
+    Execution is governed by ``ctx`` (or a fresh context built from
+    ``backend``/``workers``/``cost``/``mem``): both backends run this
+    same engine and produce bit-identical colors and accounting.
+    """
+    ranks = validate_ranks(g, ranks)
+    ctx, owns = resolve_context(ctx, backend=backend, workers=workers,
+                                cost=cost, mem=mem)
+    try:
+        cost, mem = ctx.cost, ctx.mem
+        n = g.n
+        colors = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return colors, 0
+
+        if pred_counts is not None:
+            count = np.asarray(pred_counts, dtype=np.int64).copy()
+            if count.size != n:
+                raise ValueError("pred_counts length must equal n")
+        else:
+            count = dag_pred_counts(g, ranks, ctx)
+
         frontier = np.flatnonzero(count == 0).astype(np.int64)
-        while frontier.size:
-            waves += 1
+        waves = 0
+        with ctx.phase("jp:color"):
+            while frontier.size:
+                waves += 1
 
-            def wave_chunk(lo: int, hi: int):
-                part = frontier[lo:hi]
-                seg, nbrs = g.batch_neighbors(part)
-                is_pred = ranks[nbrs] > ranks[part[seg]]
-                chunk_colors = grouped_mex(seg[is_pred],
-                                           colors[nbrs[is_pred]], part.size)
-                return part, chunk_colors, nbrs[~is_pred]
+                def wave_chunk(lo: int, hi: int, frontier=frontier):
+                    part = frontier[lo:hi]
+                    seg, nbrs = g.batch_neighbors(part)
+                    is_pred = ranks[nbrs] > ranks[part[seg]]
+                    # GetColor for the chunk's slice of the wave.
+                    chunk_colors = grouped_mex(seg[is_pred],
+                                               colors[nbrs[is_pred]],
+                                               part.size)
+                    wave_deg = int(np.bincount(
+                        seg, minlength=part.size).max()) if nbrs.size else 0
+                    return part, chunk_colors, nbrs[~is_pred], nbrs.size, \
+                        wave_deg
 
-            results = ctx.map_chunks(wave_chunk, frontier.size)
-            succs = []
-            for part, chunk_colors, succ in results:
-                colors[part] = chunk_colors
-                succs.append(succ)
-            all_succ = np.concatenate(succs) if succs else \
-                np.empty(0, dtype=np.int64)
-            frontier = decrement_and_fetch(count, all_succ)
+                results = ctx.map_chunks(wave_chunk, frontier.size)
+                succs = []
+                nbrs_total = 0
+                wave_deg = 0
+                for part, chunk_colors, succ, n_nbrs, chunk_deg in results:
+                    colors[part] = chunk_colors
+                    succs.append(succ)
+                    nbrs_total += n_nbrs
+                    wave_deg = max(wave_deg, chunk_deg)
+                mem.gather(nbrs_total, "jp:color")
+                cost.round(nbrs_total + frontier.size,
+                           log2_ceil(max(wave_deg, 1)) + 1)
+                # Join: notify successors, release the ones that hit zero.
+                succ = np.concatenate(succs) if succs else \
+                    np.empty(0, dtype=np.int64)
+                frontier = decrement_and_fetch(count, succ, cost=cost)
+    finally:
+        if owns:
+            ctx.close()
     if np.any(colors == 0):
         raise RuntimeError("JP left vertices uncolored; ranks not a total order?")
     return colors, waves
 
 
 def jp(g: CSRGraph, ordering: Ordering, use_fused_ranks: bool = True,
-       ) -> ColoringResult:
+       ctx: ExecutionContext | None = None,
+       backend: str | None = None,
+       workers: int | None = None) -> ColoringResult:
     """Run JP under a precomputed ordering.
 
     When the ordering carries fused predecessor counts (ADG-O with
     ``compute_ranks=True``) they are used automatically, skipping JP's
     DAG-construction part; pass ``use_fused_ranks=False`` to disable.
     """
-    cost = CostModel()
-    mem = MemoryModel()
-    pred = ordering.pred_counts if use_fused_ranks else None
-    t0 = time.perf_counter()
-    colors, waves = jp_color(g, ordering.ranks, cost=cost, mem=mem,
-                             pred_counts=pred)
-    wall = time.perf_counter() - t0
-    return ColoringResult(algorithm=f"JP-{ordering.name}", colors=colors,
-                          cost=cost, mem=mem, reorder_cost=ordering.cost,
-                          reorder_mem=ordering.mem, rounds=waves,
-                          wall_seconds=wall)
+    ctx, owns = resolve_context(ctx, backend=backend, workers=workers)
+    try:
+        pred = ordering.pred_counts if use_fused_ranks else None
+        t0 = time.perf_counter()
+        colors, waves = jp_color(g, ordering.ranks, ctx=ctx,
+                                 pred_counts=pred)
+        wall = time.perf_counter() - t0
+        return ColoringResult(algorithm=f"JP-{ordering.name}", colors=colors,
+                              cost=ctx.cost, mem=ctx.mem,
+                              reorder_cost=ordering.cost,
+                              reorder_mem=ordering.mem, rounds=waves,
+                              wall_seconds=wall, backend=ctx.backend,
+                              workers=ctx.workers,
+                              phase_walls=dict(ctx.wall_by_phase))
+    finally:
+        if owns:
+            ctx.close()
 
 
 def jp_by_name(g: CSRGraph, ordering_name: str, seed: int | None = 0,
+               ctx: ExecutionContext | None = None,
+               backend: str | None = None, workers: int | None = None,
                **ordering_kwargs) -> ColoringResult:
     """JP-X for any ordering name in the registry (e.g. 'ADG', 'LLF')."""
-    t0 = time.perf_counter()
-    ordering = get_ordering(ordering_name, g, seed=seed, **ordering_kwargs)
-    reorder_wall = time.perf_counter() - t0
-    out = jp(g, ordering)
-    out.reorder_wall_seconds = reorder_wall
-    return out
+    ctx, owns = resolve_context(ctx, backend=backend, workers=workers)
+    try:
+        t0 = time.perf_counter()
+        ordering = get_ordering(ordering_name, g, seed=seed, ctx=ctx,
+                                **ordering_kwargs)
+        reorder_wall = time.perf_counter() - t0
+        out = jp(g, ordering, ctx=ctx)
+        out.reorder_wall_seconds = reorder_wall
+        return out
+    finally:
+        if owns:
+            ctx.close()
 
 
 def jp_adg(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
-           **adg_kwargs) -> ColoringResult:
+           **kwargs) -> ColoringResult:
     """JP-ADG: the paper's contribution #2 (<= 2(1+eps)d + 1 colors)."""
-    return jp_by_name(g, "ADG", seed=seed, eps=eps, **adg_kwargs)
+    return jp_by_name(g, "ADG", seed=seed, eps=eps, **kwargs)
 
 
-def jp_adg_m(g: CSRGraph, seed: int | None = 0, **adg_kwargs) -> ColoringResult:
+def jp_adg_m(g: CSRGraph, seed: int | None = 0, **kwargs) -> ColoringResult:
     """JP-ADG-M: the median-degree variant (<= 4d + 1 colors)."""
-    return jp_by_name(g, "ADG-M", seed=seed, **adg_kwargs)
+    return jp_by_name(g, "ADG-M", seed=seed, **kwargs)
 
 
 def jp_adg_fused(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
+                 ctx: ExecutionContext | None = None,
+                 backend: str | None = None, workers: int | None = None,
                  **adg_kwargs) -> ColoringResult:
     """JP-ADG-O with the SS V-C fusion: ADG sorts its batches into an
     explicit total order and emits the DAG predecessor counts from its
@@ -198,12 +210,17 @@ def jp_adg_fused(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
 
     adg_kwargs.setdefault("sort_batches", True)
     adg_kwargs.setdefault("compute_ranks", True)
-    t0 = time.perf_counter()
-    ordering = adg_ordering(g, eps=eps, seed=seed, **adg_kwargs)
-    reorder_wall = time.perf_counter() - t0
-    out = jp(g, ordering)
-    out.reorder_wall_seconds = reorder_wall
-    return out
+    ctx, owns = resolve_context(ctx, backend=backend, workers=workers)
+    try:
+        t0 = time.perf_counter()
+        ordering = adg_ordering(g, eps=eps, seed=seed, ctx=ctx, **adg_kwargs)
+        reorder_wall = time.perf_counter() - t0
+        out = jp(g, ordering, ctx=ctx)
+        out.reorder_wall_seconds = reorder_wall
+        return out
+    finally:
+        if owns:
+            ctx.close()
 
 
 def longest_dag_path(g: CSRGraph, ranks: np.ndarray) -> int:

@@ -22,6 +22,16 @@ from .speculative import itr, itr_asl, itrb
 
 ColoringFn = Callable[..., ColoringResult]
 
+#: Algorithms whose engines run on the execution-context runtime and
+#: therefore honor backend/workers selection.  The rest (sequential
+#: greedy baselines, the speculative ITR family, Luby/GM/CR) have no
+#: chunked rounds; they run serially and ignore the backend switch.
+BACKEND_AWARE = frozenset({
+    "JP-FF", "JP-R", "JP-LF", "JP-LLF", "JP-SL", "JP-SLL", "JP-ASL",
+    "JP-ADG", "JP-ADG-M", "JP-ADG-O",
+    "DEC-ADG", "DEC-ADG-M", "DEC-ADG-ITR",
+})
+
 
 def _jp(name: str) -> ColoringFn:
     def run(g: CSRGraph, seed: int | None = 0, **kw) -> ColoringResult:
@@ -76,11 +86,21 @@ OUR_ALGORITHMS = ["JP-ADG", "JP-ADG-M", "DEC-ADG", "DEC-ADG-M", "DEC-ADG-ITR"]
 FIGURE1_SET = SC_CLASS + JP_CLASS
 
 
-def color(name: str, g: CSRGraph, **kwargs) -> ColoringResult:
-    """Run the named coloring algorithm on ``g``."""
+def color(name: str, g: CSRGraph, backend: str | None = None,
+          workers: int | None = None, **kwargs) -> ColoringResult:
+    """Run the named coloring algorithm on ``g``.
+
+    ``backend`` / ``workers`` select the execution runtime for the
+    algorithms in :data:`BACKEND_AWARE`; serial-only algorithms ignore
+    them (their results report ``backend='serial'``), so a whole suite
+    can be driven with one backend switch.
+    """
     try:
         fn = ALGORITHMS[name]
     except KeyError:
         raise ValueError(f"unknown algorithm {name!r}; "
                          f"options: {sorted(ALGORITHMS)}") from None
+    if name in BACKEND_AWARE:
+        kwargs.setdefault("backend", backend)
+        kwargs.setdefault("workers", workers)
     return fn(g, **kwargs)

@@ -19,6 +19,11 @@ class ColoringResult:
     finished result).  ``reorder_cost`` holds the work/depth of the
     ordering phase (the paper's Fig. 1 splits run-times into reordering
     and coloring); ``cost`` holds the coloring phase.
+
+    ``backend``/``workers`` record the execution configuration the run
+    used (colors are backend-independent by construction; wall times
+    are not), and ``phase_walls`` the per-phase wall-clock split from
+    the :class:`~repro.runtime.ExecutionContext` timers.
     """
 
     algorithm: str
@@ -31,6 +36,9 @@ class ColoringResult:
     conflicts_resolved: int = 0
     wall_seconds: float = 0.0
     reorder_wall_seconds: float = 0.0
+    backend: str = "serial"
+    workers: int = 1
+    phase_walls: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.colors = np.asarray(self.colors, dtype=np.int64)
@@ -93,4 +101,6 @@ class ColoringResult:
             "rounds": self.rounds,
             "conflicts": self.conflicts_resolved,
             "wall_s": self.total_wall_seconds,
+            "backend": self.backend,
+            "workers": self.workers,
         }

@@ -7,6 +7,13 @@ neighbor drew the same one or the color is forbidden by the bitmap B_v
 (colors taken by neighbors in already-colored partitions).  Each round
 deactivates a constant fraction of vertices in expectation (Claim 1),
 so the loop terminates in O(log n) rounds w.h.p. (Lemma 10).
+
+Each round's trial evaluation is chunked through the execution context:
+the color draw stays a single serial RNG call (so the random stream —
+hence the coloring — is identical on every backend), while the
+per-vertex conflict checks read only this round's fixed draws and are
+embarrassingly parallel.  Bitmap commits are applied on the coordinator
+after the chunks return.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from ..graphs.csr import CSRGraph
 from ..machine.costmodel import CostModel, log2_ceil
 from ..machine.memmodel import MemoryModel
 from ..primitives.kernels import segment_any
+from ..runtime import ExecutionContext, resolve_context
 
 
 def sim_col(
@@ -28,6 +36,7 @@ def sim_col(
     cost: CostModel | None = None,
     mem: MemoryModel | None = None,
     max_rounds: int | None = None,
+    ctx: ExecutionContext | None = None,
 ) -> tuple[np.ndarray, int]:
     """Color one partition; returns (1-based local colors, rounds used).
 
@@ -43,60 +52,85 @@ def sim_col(
         Boolean matrix (|R| x width); ``forbidden[v, c]`` means color c
         is taken by a neighbor of v in a higher partition.  Mutated in
         place as vertices commit (it doubles as the B_v bitmaps).
+    ctx:
+        Execution context carrying backend, pool, and the accounting
+        books; when absent one is built from ``cost``/``mem`` on the
+        default backend.
     """
     if mu <= 0:
         raise ValueError(f"mu must be > 0, got {mu}")
-    n = part.n
-    colors = np.zeros(n, dtype=np.int64)
-    if n == 0:
-        return colors, 0
-    degl = np.asarray(degl, dtype=np.int64)
-    cap = np.maximum(1, np.ceil((1.0 + mu) * degl)).astype(np.int64)
-    width = forbidden.shape[1]
-    if int(cap.max()) >= width:
-        raise ValueError(f"forbidden bitmap width {width} too small for "
-                         f"color range {int(cap.max())}")
-    active = np.arange(n, dtype=np.int64)
-    rounds = 0
-    limit = max_rounds if max_rounds is not None else 64 * (n.bit_length() + 2)
+    ctx, owns = resolve_context(ctx, cost=cost, mem=mem)
+    cost, mem = ctx.cost, ctx.mem
+    try:
+        n = part.n
+        colors = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return colors, 0
+        degl = np.asarray(degl, dtype=np.int64)
+        cap = np.maximum(1, np.ceil((1.0 + mu) * degl)).astype(np.int64)
+        width = forbidden.shape[1]
+        if int(cap.max()) >= width:
+            raise ValueError(f"forbidden bitmap width {width} too small for "
+                             f"color range {int(cap.max())}")
+        active = np.arange(n, dtype=np.int64)
+        rounds = 0
+        limit = max_rounds if max_rounds is not None else 64 * (n.bit_length() + 2)
 
-    while active.size:
-        rounds += 1
-        if rounds > limit:
-            raise RuntimeError("SIM-COL failed to converge "
-                               f"({active.size} vertices left)")
-        # Part 1: draw colors uniformly at random.
-        draw = rng.integers(1, cap[active] + 1, dtype=np.int64)
-        colors[active] = draw
-        if cost is not None:
+        while active.size:
+            rounds += 1
+            if rounds > limit:
+                raise RuntimeError("SIM-COL failed to converge "
+                                   f"({active.size} vertices left)")
+            # Part 1: draw colors uniformly at random — one serial RNG
+            # call, so the stream is backend-independent.
+            draw = rng.integers(1, cap[active] + 1, dtype=np.int64)
+            colors[active] = draw
             cost.parallel_for(active.size)
-        if mem is not None:
             mem.stream(active.size, "simcol")
 
-        # Part 2: reject on equality with an active neighbor or on B_v.
-        seg, nbrs = part.batch_neighbors(active)
-        still_active = np.zeros(n, dtype=bool)
-        still_active[active] = True
-        same = (colors[nbrs] == colors[active[seg]]) & still_active[nbrs]
-        clash = segment_any(same, seg, active.size)
-        clash |= forbidden[active, colors[active]]
-        if cost is not None:
-            md = int(np.bincount(seg, minlength=active.size).max()) \
-                if nbrs.size else 0
-            cost.round(nbrs.size + active.size, log2_ceil(max(md, 1)) + 1)
-        if mem is not None:
-            mem.gather(nbrs.size, "simcol")
-        colors[active[clash]] = 0
+            # Part 2: reject on equality with an active neighbor or on B_v.
+            still_active = np.zeros(n, dtype=bool)
+            still_active[active] = True
 
-        # Part 3: record the newly fixed colors in the neighbors' bitmaps.
-        fixed_nbr = (colors[nbrs] > 0) & still_active[nbrs]
-        upd_v = active[seg[fixed_nbr]]
-        upd_c = colors[nbrs[fixed_nbr]]
-        forbidden[upd_v, upd_c] = True
-        if cost is not None:
-            cost.scatter_decrement(int(fixed_nbr.sum()))
-        if mem is not None:
-            mem.gather(int(fixed_nbr.sum()), "simcol")
+            def trial_chunk(lo: int, hi: int, active=active,
+                            still_active=still_active):
+                mine = active[lo:hi]
+                seg, nbrs = part.batch_neighbors(mine)
+                same = (colors[nbrs] == colors[mine[seg]]) & still_active[nbrs]
+                clash = segment_any(same, seg, mine.size)
+                clash |= forbidden[mine, colors[mine]]
+                md = int(np.bincount(seg, minlength=mine.size).max()) \
+                    if nbrs.size else 0
+                return clash, seg, nbrs, md
 
-        active = active[clash]
-    return colors, rounds
+            results = ctx.map_chunks(trial_chunk, active.size)
+            clash = np.concatenate([r[0] for r in results]) if results \
+                else np.empty(0, dtype=bool)
+            nbrs_total = sum(r[2].size for r in results)
+            md = max((r[3] for r in results), default=0)
+            cost.round(nbrs_total + active.size, log2_ceil(max(md, 1)) + 1)
+            mem.gather(nbrs_total, "simcol")
+            colors[active[clash]] = 0
+
+            # Part 3: record the newly fixed colors in the neighbors'
+            # bitmaps — after the clash rejections above, so only truly
+            # committed colors are forbidden.  The chunks' gathered
+            # neighbor arrays are reused; True-scatters commute.
+            offset = 0
+            fixed_total = 0
+            for chunk_clash, seg, nbrs, _ in results:
+                mine = active[offset:offset + chunk_clash.size]
+                fixed_nbr = (colors[nbrs] > 0) & still_active[nbrs]
+                upd_v = mine[seg[fixed_nbr]]
+                upd_c = colors[nbrs[fixed_nbr]]
+                forbidden[upd_v, upd_c] = True
+                fixed_total += int(fixed_nbr.sum())
+                offset += chunk_clash.size
+            cost.scatter_decrement(fixed_total)
+            mem.gather(fixed_total, "simcol")
+
+            active = active[clash]
+        return colors, rounds
+    finally:
+        if owns:
+            ctx.close()

@@ -59,9 +59,16 @@ class ParallelContext:
             self._pool = None
 
     def map_chunks(self, fn: Callable[[int, int], T], n: int) -> list[T]:
-        """Run ``fn(lo, hi)`` over a balanced chunking of range(n)."""
+        """Run ``fn(lo, hi)`` over a balanced chunking of range(n).
+
+        Without a pool (1 worker, or outside the ``with`` block) there
+        is nothing to overlap, so the range degrades to a *single*
+        chunk — the serial path pays no chunking overhead.
+        """
+        if self._pool is None:
+            return [fn(lo, hi) for lo, hi in split_chunks(n, 1)]
         chunks = split_chunks(n, self.workers * 4)
-        if self._pool is None or len(chunks) <= 1:
+        if len(chunks) <= 1:
             return [fn(lo, hi) for lo, hi in chunks]
         futures = [self._pool.submit(fn, lo, hi) for lo, hi in chunks]
         return [f.result() for f in futures]

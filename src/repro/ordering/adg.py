@@ -26,9 +26,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.csr import CSRGraph
-from ..machine.costmodel import CostModel, log2_ceil
-from ..machine.memmodel import MemoryModel
+from ..machine.costmodel import log2_ceil
 from ..primitives.sorting import argsort_by
+from ..runtime import ExecutionContext
 from .base import Ordering, random_tiebreak, total_order
 
 
@@ -43,6 +43,9 @@ def adg_ordering(
     cache_degree_sums: bool = True,
     compute_ranks: bool = False,
     seed: int | None = 0,
+    ctx: ExecutionContext | None = None,
+    backend: str | None = None,
+    workers: int | None = None,
 ) -> Ordering:
     """Compute the (partial) approximate degeneracy ordering of ``g``.
 
@@ -50,6 +53,13 @@ def adg_ordering(
     1-based removal iteration of each vertex (the rho_ADG of the paper)
     and whose ``ranks`` impose the total order <rho_ADG, rho_R> — or the
     explicit sorted-batch order when ``sort_batches`` is set.
+
+    Batch selection and the push UPDATE scatter are chunked through the
+    execution context (``ctx``, or one built from ``backend``/
+    ``workers``); both backends produce bit-identical orderings and
+    accounting.  The ordering's cost/mem books are always its own (the
+    paper splits run-times into reordering and coloring), so a caller's
+    context contributes only its backend, workers, and pool.
     """
     if not eps >= 0:  # also rejects NaN
         raise ValueError(f"eps must be >= 0, got {eps}")
@@ -65,8 +75,14 @@ def adg_ordering(
     if compute_ranks and update != "push":
         raise ValueError("compute_ranks is fused into the push UPDATE")
 
-    cost = CostModel(crew=(update == "pull"))
-    mem = MemoryModel()
+    if ctx is not None:
+        run = ctx.child(crew=(update == "pull"))
+        owns = False
+    else:
+        run = ExecutionContext(backend=backend, workers=workers,
+                               crew=(update == "pull"))
+        owns = True
+    cost, mem = run.cost, run.mem
     n = g.n
     D = g.degrees
     active = np.ones(n, dtype=bool)
@@ -80,88 +96,124 @@ def adg_ordering(
     max_deg = g.max_degree
 
     phase_name = "order:adg" if variant == "avg" else "order:adg-m"
-    with cost.phase(phase_name):
-        cost.reduce(n)  # initial degree sum
-        while remaining:
-            iteration += 1
+    try:
+        with run.phase(phase_name):
+            cost.reduce(n)  # initial degree sum
+            while remaining:
+                iteration += 1
 
-            # -- select the removal batch R ------------------------------------
-            if variant == "avg":
-                if cache_degree_sums:
-                    cost.round(2, 1)  # delta_hat from cached sum and count
+                # -- select the removal batch R --------------------------------
+                if variant == "avg":
+                    if cache_degree_sums:
+                        cost.round(2, 1)  # delta_hat from cached sum and count
+                    else:
+                        live = np.flatnonzero(active)
+                        sum_deg = int(D[live].sum())
+                        cost.reduce(remaining)
+                        cost.reduce(remaining)
+                        mem.stream(remaining, phase_name)
+                    avg = sum_deg / remaining
+                    threshold = (1.0 + eps) * avg
+
+                    def select_chunk(lo: int, hi: int):
+                        return np.flatnonzero(
+                            active[lo:hi] & (D[lo:hi] <= threshold)) + lo
+
+                    batch = np.concatenate(run.map_chunks(select_chunk, n))
+                    cost.parallel_for(remaining)
+                    mem.stream(n, phase_name)
+                    r_mask = np.zeros(n, dtype=bool)
+                    r_mask[batch] = True
+                else:
+                    # ADG-M: the floor(|U|/2)+parity smallest-degree vertices.
+                    live = np.flatnonzero(active)
+                    order = argsort_by(D[live], sort_method, cost=cost)
+                    k = (remaining + 1) // 2
+                    batch = np.sort(live[order[:k]])
+                    r_mask = np.zeros(n, dtype=bool)
+                    r_mask[batch] = True
+                    mem.stream(remaining, phase_name)
+
+                if batch.size == 0:
+                    # Cannot happen for valid inputs (the min degree is always
+                    # <= the average), kept as a loud invariant check.
+                    raise RuntimeError("ADG made no progress; invariant broken")
+
+                levels[batch] = iteration
+                removed_deg_sum = int(D[batch].sum())
+
+                # -- explicit in-batch ordering (ADG-O, SS V-B) -----------------
+                if sort_batches:
+                    in_batch = argsort_by(D[batch], sort_method, cost=cost)
+                    ordered = batch[in_batch]
+                    explicit[ordered] = counter + np.arange(ordered.size)
+                    counter += ordered.size
+                    cost.parallel_for(batch.size)
+
+                active[batch] = False
+                remaining -= batch.size
+                cost.round(batch.size, 1)  # U = U \ R via bitmap overwrite
+
+                # -- degree update ----------------------------------------------
+                if update == "push":
+                    def push_chunk(lo: int, hi: int, batch=batch):
+                        part = batch[lo:hi]
+                        seg, nbrs = g.batch_neighbors(part)
+                        live_nbr = active[nbrs]
+                        preds = None
+                        if compute_ranks:
+                            # UPDATEandPRIORITIZE (Alg. 6): a neighbor removed
+                            # *after* v — still active, or later in the sorted
+                            # batch — is a DAG predecessor of v.
+                            owner = part[seg]
+                            is_pred = live_nbr | (
+                                r_mask[nbrs] &
+                                (explicit[nbrs] > explicit[owner]))
+                            preds = owner[is_pred]
+                        return nbrs[live_nbr], nbrs.size, preds
+
+                    results = run.map_chunks(push_chunk, batch.size)
+                    live_targets = np.concatenate(
+                        [r[0] for r in results]) if results else \
+                        np.empty(0, dtype=np.int64)
+                    nbrs_total = sum(r[1] for r in results)
+                    mem.gather(nbrs_total, phase_name)
+                    cost.scatter_decrement(nbrs_total)
+                    if live_targets.size:
+                        np.subtract.at(D, live_targets, 1)
+                    cut = live_targets.size
+                    if compute_ranks:
+                        preds = np.concatenate(
+                            [r[2] for r in results]) if results else \
+                            np.empty(0, dtype=np.int64)
+                        np.add.at(pred_counts, preds, 1)
+                        cost.round(nbrs_total, 1)
                 else:
                     live = np.flatnonzero(active)
-                    sum_deg = int(D[live].sum())
-                    cost.reduce(remaining)
-                    cost.reduce(remaining)
-                    mem.stream(remaining, phase_name)
-                avg = sum_deg / remaining
-                threshold = (1.0 + eps) * avg
-                r_mask = active & (D <= threshold)
-                cost.parallel_for(remaining)
-                mem.stream(n, phase_name)
-                batch = np.flatnonzero(r_mask)
-            else:
-                # ADG-M: the floor(|U|/2)+parity smallest-degree vertices.
-                live = np.flatnonzero(active)
-                order = argsort_by(D[live], sort_method, cost=cost)
-                k = (remaining + 1) // 2
-                batch = np.sort(live[order[:k]])
-                r_mask = np.zeros(n, dtype=bool)
-                r_mask[batch] = True
-                mem.stream(remaining, phase_name)
 
-            if batch.size == 0:
-                # Cannot happen for valid inputs (the min degree is always
-                # <= the average), kept as a loud invariant check.
-                raise RuntimeError("ADG made no progress; invariant broken")
+                    def pull_chunk(lo: int, hi: int, live=live):
+                        part = live[lo:hi]
+                        seg, nbrs = g.batch_neighbors(part)
+                        in_r = r_mask[nbrs].astype(np.int64)
+                        dec = np.zeros(part.size, dtype=np.int64)
+                        np.add.at(dec, seg, in_r)
+                        return dec, nbrs.size
 
-            levels[batch] = iteration
-            removed_deg_sum = int(D[batch].sum())
+                    results = run.map_chunks(pull_chunk, live.size)
+                    dec = np.concatenate([r[0] for r in results]) if results \
+                        else np.empty(0, dtype=np.int64)
+                    nbrs_total = sum(r[1] for r in results)
+                    mem.gather(nbrs_total, phase_name)
+                    # Per-vertex Count(N_U(v) cap R): a Reduce over each row.
+                    cost.round(nbrs_total + remaining,
+                               log2_ceil(max(max_deg, 1)))
+                    D[live] -= dec
+                    cut = int(dec.sum())
 
-            # -- explicit in-batch ordering (ADG-O, SS V-B) ---------------------
-            if sort_batches:
-                in_batch = argsort_by(D[batch], sort_method, cost=cost)
-                ordered = batch[in_batch]
-                explicit[ordered] = counter + np.arange(ordered.size)
-                counter += ordered.size
-                cost.parallel_for(batch.size)
-
-            active[batch] = False
-            remaining -= batch.size
-            cost.round(batch.size, 1)  # U = U \ R via bitmap overwrite
-
-            # -- degree update ---------------------------------------------------
-            if update == "push":
-                seg, nbrs = g.batch_neighbors(batch)
-                live_targets = nbrs[active[nbrs]]
-                mem.gather(nbrs.size, phase_name)
-                cost.scatter_decrement(nbrs.size)
-                if live_targets.size:
-                    np.subtract.at(D, live_targets, 1)
-                cut = live_targets.size
-                if compute_ranks:
-                    # UPDATEandPRIORITIZE (Alg. 6): a neighbor removed
-                    # *after* v — still active, or later in the sorted
-                    # batch — is a DAG predecessor of v.
-                    owner = batch[seg]
-                    is_pred = active[nbrs] | (
-                        r_mask[nbrs] & (explicit[nbrs] > explicit[owner]))
-                    np.add.at(pred_counts, owner[is_pred], 1)
-                    cost.round(nbrs.size, 1)
-            else:
-                live = np.flatnonzero(active)
-                seg, nbrs = g.batch_neighbors(live)
-                in_r = r_mask[nbrs].astype(np.int64)
-                mem.gather(nbrs.size, phase_name)
-                # Per-vertex Count(N_U(v) cap R): a Reduce over each row.
-                cost.round(nbrs.size + remaining, log2_ceil(max(max_deg, 1)))
-                dec = np.zeros(live.size, dtype=np.int64)
-                np.add.at(dec, seg, in_r)
-                D[live] -= dec
-                cut = int(dec.sum())
-
-            sum_deg = sum_deg - removed_deg_sum - cut
+                sum_deg = sum_deg - removed_deg_sum - cut
+    finally:
+        if owns:
+            run.close()
 
     if sort_batches:
         ranks = total_order(explicit)

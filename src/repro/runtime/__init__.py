@@ -1,0 +1,15 @@
+"""Unified execution runtime: backend selection, chunked execution,
+end-to-end accounting behind one :class:`ExecutionContext` object."""
+
+from .context import (
+    BACKENDS,
+    CHUNKS_PER_WORKER,
+    ExecutionContext,
+    default_backend,
+    resolve_context,
+)
+
+__all__ = [
+    "BACKENDS", "CHUNKS_PER_WORKER", "ExecutionContext",
+    "default_backend", "resolve_context",
+]

@@ -1,0 +1,188 @@
+"""ExecutionContext: the unified per-run execution runtime.
+
+Every algorithm in this library is a sequence of *parallel rounds* over
+NumPy arrays.  An :class:`ExecutionContext` bundles everything one run
+needs to execute those rounds and account for them:
+
+- a ``backend`` switch (``'serial'`` or ``'threaded'``) with a worker
+  count (argument, else ``$REPRO_WORKERS``, else the CPU count);
+- the chunked thread-pool machinery (:mod:`repro.machine.parallel`)
+  behind one :meth:`map_chunks` seam;
+- the :class:`~repro.machine.costmodel.CostModel` and
+  :class:`~repro.machine.memmodel.MemoryModel` accounting books;
+- per-phase wall-clock timers (:meth:`phase`).
+
+The contract every engine written against this context obeys: the
+*threaded* backend chunks each round over independent spans and combines
+the partial results in deterministic chunk order, so colors, waves, and
+the recorded work/depth/memory totals are **bit-identical** to the
+serial backend.  On the serial backend :meth:`map_chunks` degrades to a
+single chunk — zero chunking overhead, exactly the monolithic
+vectorized round.
+
+Future backends (process pools, numba kernels) plug in here: implement
+the :meth:`map_chunks` seam for the new backend and every engine gains
+it without another per-algorithm fork.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Callable, TypeVar
+
+from ..machine.costmodel import CostModel
+from ..machine.memmodel import MemoryModel
+from ..machine.parallel import default_workers, split_chunks
+
+T = TypeVar("T")
+
+BACKENDS = ("serial", "threaded")
+
+#: Chunks per worker: oversubscription smooths load imbalance between
+#: spans (frontier vertices have wildly varying degrees).
+CHUNKS_PER_WORKER = 4
+
+
+def default_backend() -> str:
+    """Backend: $REPRO_BACKEND if set (and valid), else 'serial'."""
+    env = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    if not env:
+        return "serial"
+    if env not in BACKENDS:
+        raise ValueError(f"$REPRO_BACKEND must be one of {BACKENDS}, "
+                         f"got {env!r}")
+    return env
+
+
+class ExecutionContext:
+    """One object carrying backend, pool, accounting, and timers.
+
+    Parameters
+    ----------
+    backend:
+        ``'serial'`` or ``'threaded'``; ``None`` resolves via
+        :func:`default_backend` (``$REPRO_BACKEND``, else serial).
+    workers:
+        Thread count for the threaded backend; ``None`` resolves via
+        ``$REPRO_WORKERS``, else the CPU count.  Forced to 1 on the
+        serial backend.
+    cost, mem:
+        Accounting books to record into; fresh models when ``None``.
+    crew:
+        Passed to a freshly created :class:`CostModel` (CREW charging
+        for scatter primitives).
+
+    The context is a context manager; the thread pool is created lazily
+    on first threaded :meth:`map_chunks` and shut down by
+    :meth:`close` / ``__exit__``.  :meth:`child` derives a context with
+    fresh accounting books that *shares* the pool (used to account an
+    ordering phase separately from the coloring phase of one run).
+    """
+
+    def __init__(self, backend: str | None = None, workers: int | None = None,
+                 cost: CostModel | None = None, mem: MemoryModel | None = None,
+                 crew: bool = False,
+                 _pool_host: "ExecutionContext | None" = None):
+        self.backend = backend if backend is not None else default_backend()
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, "
+                             f"got {self.backend!r}")
+        if self.backend == "serial":
+            self.workers = 1
+        else:
+            self.workers = workers if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        self.cost = cost if cost is not None else CostModel(crew=crew)
+        self.mem = mem if mem is not None else MemoryModel()
+        self.wall_by_phase: dict[str, float] = {}
+        self._pool_host = _pool_host if _pool_host is not None else self
+        self._pool: ThreadPoolExecutor | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the pool (only if this context is its host)."""
+        if self._pool_host is self and self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def child(self, cost: CostModel | None = None,
+              mem: MemoryModel | None = None,
+              crew: bool = False) -> "ExecutionContext":
+        """Same backend/workers/pool, fresh accounting books and timers."""
+        return ExecutionContext(backend=self.backend, workers=self.workers,
+                                cost=cost, mem=mem, crew=crew,
+                                _pool_host=self._pool_host)
+
+    def _acquire_pool(self) -> ThreadPoolExecutor | None:
+        host = self._pool_host
+        if host._pool is None and self.backend == "threaded" \
+                and self.workers > 1:
+            host._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return host._pool
+
+    # -- execution -----------------------------------------------------------
+
+    def map_chunks(self, fn: Callable[[int, int], T], n: int) -> list[T]:
+        """Run ``fn(lo, hi)`` over a chunking of range(n), in chunk order.
+
+        Serial backend (or 1 worker): one chunk, executed inline — the
+        call is exactly ``[fn(0, n)]``.  Threaded backend: balanced
+        chunks on the shared pool; results are returned in chunk order,
+        so order-dependent combines are deterministic.
+        """
+        if self.backend == "serial" or self.workers <= 1:
+            return [fn(lo, hi) for lo, hi in split_chunks(n, 1)]
+        chunks = split_chunks(n, self.workers * CHUNKS_PER_WORKER)
+        pool = self._acquire_pool()
+        if pool is None or len(chunks) <= 1:
+            return [fn(lo, hi) for lo, hi in chunks]
+        futures = [pool.submit(fn, lo, hi) for lo, hi in chunks]
+        return [f.result() for f in futures]
+
+    # -- accounting ----------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str):
+        """Attribute cost *and wall-clock time* inside the block to ``name``."""
+        t0 = time.perf_counter()
+        with self.cost.phase(name):
+            try:
+                yield self
+            finally:
+                elapsed = time.perf_counter() - t0
+                self.wall_by_phase[name] = \
+                    self.wall_by_phase.get(name, 0.0) + elapsed
+
+    def describe(self) -> dict:
+        """Flat record of the execution configuration (for result rows)."""
+        return {"backend": self.backend, "workers": self.workers}
+
+
+def resolve_context(ctx: ExecutionContext | None,
+                    backend: str | None = None,
+                    workers: int | None = None,
+                    cost: CostModel | None = None,
+                    mem: MemoryModel | None = None,
+                    crew: bool = False) -> tuple[ExecutionContext, bool]:
+    """Return ``(context, owns)`` for an engine entry point.
+
+    When the caller supplied a context it is used as-is (``owns`` False:
+    the caller manages the pool); otherwise a fresh one is built from
+    ``backend``/``workers``/accounting arguments and ``owns`` is True —
+    the engine must ``close()`` it (or use it as a context manager).
+    """
+    if ctx is not None:
+        return ctx, False
+    return ExecutionContext(backend=backend, workers=workers,
+                            cost=cost, mem=mem, crew=crew), True

@@ -1,0 +1,135 @@
+"""Serial/threaded parity: one engine, bit-identical results.
+
+The determinism contract of the ExecutionContext runtime: for every
+backend-aware algorithm, ``backend='threaded'`` must produce exactly the
+colors, waves/rounds, ordering ranks/levels, and cost/memory books of
+``backend='serial'``, for any worker count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coloring.dec_adg import dec_adg, dec_adg_m
+from repro.coloring.dec_adg_itr import dec_adg_itr
+from repro.coloring.jp import jp_adg_fused, jp_by_name
+from repro.coloring.registry import BACKEND_AWARE, color
+from repro.coloring.verify import assert_valid_coloring
+from repro.graphs.generators import chung_lu, gnm_random, grid_2d
+from repro.ordering.adg import adg_m_ordering, adg_ordering
+
+WORKER_COUNTS = [1, 2, 4]
+
+
+@pytest.fixture(scope="module")
+def parity_graph():
+    return chung_lu(400, 2000, seed=11)
+
+
+def _assert_result_parity(serial, threaded, workers):
+    np.testing.assert_array_equal(threaded.colors, serial.colors)
+    assert threaded.rounds == serial.rounds
+    assert threaded.cost.work == serial.cost.work
+    assert threaded.cost.depth == serial.cost.depth
+    if serial.reorder_cost is not None:
+        assert threaded.reorder_cost.work == serial.reorder_cost.work
+        assert threaded.reorder_cost.depth == serial.reorder_cost.depth
+    assert threaded.backend == "threaded"
+    assert threaded.workers == workers
+
+
+class TestJPParity:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_jp_adg(self, parity_graph, workers):
+        serial = jp_by_name(parity_graph, "ADG", seed=0, eps=0.1)
+        threaded = jp_by_name(parity_graph, "ADG", seed=0, eps=0.1,
+                              backend="threaded", workers=workers)
+        _assert_result_parity(serial, threaded, workers)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_jp_adg_fused(self, parity_graph, workers):
+        serial = jp_adg_fused(parity_graph, eps=0.1, seed=0)
+        threaded = jp_adg_fused(parity_graph, eps=0.1, seed=0,
+                                backend="threaded", workers=workers)
+        _assert_result_parity(serial, threaded, workers)
+
+
+class TestOrderingParity:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("fn", [adg_ordering, adg_m_ordering],
+                             ids=["ADG", "ADG-M"])
+    def test_adg_family(self, parity_graph, fn, workers):
+        serial = fn(parity_graph, eps=0.1, seed=0)
+        threaded = fn(parity_graph, eps=0.1, seed=0,
+                      backend="threaded", workers=workers)
+        np.testing.assert_array_equal(threaded.ranks, serial.ranks)
+        np.testing.assert_array_equal(threaded.levels, serial.levels)
+        assert threaded.num_levels == serial.num_levels
+        assert threaded.cost.work == serial.cost.work
+        assert threaded.cost.depth == serial.cost.depth
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_adg_fused_ranks(self, parity_graph, workers):
+        """UPDATEandPRIORITIZE (compute_ranks) parity, incl. pred_counts."""
+        serial = adg_ordering(parity_graph, eps=0.1, sort_batches=True,
+                              compute_ranks=True)
+        threaded = adg_ordering(parity_graph, eps=0.1, sort_batches=True,
+                                compute_ranks=True,
+                                backend="threaded", workers=workers)
+        np.testing.assert_array_equal(threaded.ranks, serial.ranks)
+        np.testing.assert_array_equal(threaded.pred_counts,
+                                      serial.pred_counts)
+
+
+class TestDecParity:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("fn", [dec_adg, dec_adg_m, dec_adg_itr],
+                             ids=["DEC-ADG", "DEC-ADG-M", "DEC-ADG-ITR"])
+    def test_dec_family(self, parity_graph, fn, workers):
+        serial = fn(parity_graph, seed=0)
+        threaded = fn(parity_graph, seed=0,
+                      backend="threaded", workers=workers)
+        _assert_result_parity(serial, threaded, workers)
+        assert_valid_coloring(parity_graph, threaded.colors)
+
+
+class TestRegistryParity:
+    @pytest.mark.parametrize("name", sorted(BACKEND_AWARE))
+    def test_every_backend_aware_algorithm(self, name):
+        g = gnm_random(150, 500, seed=5)
+        serial = color(name, g, seed=0)
+        threaded = color(name, g, seed=0, backend="threaded", workers=2)
+        np.testing.assert_array_equal(threaded.colors, serial.colors)
+        assert threaded.rounds == serial.rounds
+        assert threaded.backend == "threaded"
+
+    def test_serial_only_algorithm_ignores_backend(self):
+        g = grid_2d(10, 10)
+        res = color("Greedy-FF", g, seed=0, backend="threaded", workers=2)
+        assert res.backend == "serial"
+
+
+class TestThreadedAccounting:
+    """The old fork ran dark; the unified engine keeps full books."""
+
+    @pytest.mark.parametrize("name", ["JP-ADG", "JP-ADG-O", "DEC-ADG",
+                                      "DEC-ADG-ITR"])
+    def test_threaded_populates_cost_and_memory(self, parity_graph, name):
+        res = color(name, parity_graph, seed=0,
+                    backend="threaded", workers=4)
+        assert res.cost.work > 0
+        assert res.cost.depth > 0
+        assert res.mem.total > 0
+        assert res.total_work > 0
+
+    def test_threaded_matches_serial_books(self, parity_graph):
+        serial = color("JP-ADG", parity_graph, seed=0)
+        threaded = color("JP-ADG", parity_graph, seed=0,
+                         backend="threaded", workers=4)
+        assert threaded.cost.snapshot() == serial.cost.snapshot()
+        assert threaded.mem.total == serial.mem.total
+
+    def test_phase_walls_recorded(self, parity_graph):
+        res = color("JP-ADG", parity_graph, seed=0,
+                    backend="threaded", workers=2)
+        assert res.phase_walls
+        assert all(v >= 0 for v in res.phase_walls.values())

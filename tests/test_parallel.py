@@ -68,6 +68,16 @@ class TestParallelContext:
         flat = [lo for lo, _ in spans]
         assert flat == sorted(flat)
 
+    def test_pool_absent_degrades_to_single_chunk(self):
+        """Outside ``with``, map_chunks must run one inline chunk — not
+        a serial loop over the threaded chunking."""
+        ctx = ParallelContext(workers=4)
+        calls = []
+        out = ctx.map_chunks(
+            lambda lo, hi: calls.append((lo, hi)) or (hi - lo), 100)
+        assert calls == [(0, 100)]
+        assert out == [100]
+
 
 class TestChunkedSum:
     def test_empty(self):

@@ -1,60 +1,83 @@
-"""Tests for the thread-parallel JP execution path."""
+"""Tests for the threaded backend of the unified JP engine.
+
+``jp_color_parallel`` is gone: one engine serves both backends through
+the ExecutionContext runtime, so these tests drive ``jp_color`` with
+``backend='threaded'``.
+"""
 
 import numpy as np
 import pytest
 
-from repro.coloring.jp import jp_color, jp_color_parallel
+from repro.coloring.jp import jp_color
 from repro.coloring.verify import assert_valid_coloring
 from repro.graphs.generators import chung_lu, gnm_random
+from repro.machine.costmodel import CostModel
+from repro.machine.memmodel import MemoryModel
 from repro.ordering.adg import adg_ordering
 from repro.ordering.base import random_tiebreak
 
 
-class TestParallelJP:
+class TestThreadedJP:
     def test_identical_to_serial(self, small_random):
         ranks = random_tiebreak(small_random.n, 3)
         serial, w1 = jp_color(small_random, ranks)
         for workers in [1, 2, 4]:
-            par, w2 = jp_color_parallel(small_random, ranks, workers=workers)
+            par, w2 = jp_color(small_random, ranks, backend="threaded",
+                               workers=workers)
             np.testing.assert_array_equal(par, serial)
             assert w2 == w1
 
     def test_valid_on_larger_graph(self):
         g = chung_lu(1000, 5000, seed=0)
         ranks = random_tiebreak(g.n, 0)
-        colors, _ = jp_color_parallel(g, ranks, workers=4)
+        colors, _ = jp_color(g, ranks, backend="threaded", workers=4)
         assert_valid_coloring(g, colors)
 
     def test_with_adg_ordering(self):
         g = gnm_random(300, 1200, seed=1)
         o = adg_ordering(g, eps=0.1, seed=0)
-        par, _ = jp_color_parallel(g, o.ranks, workers=3)
+        par, _ = jp_color(g, o.ranks, backend="threaded", workers=3)
         ser, _ = jp_color(g, o.ranks)
         np.testing.assert_array_equal(par, ser)
 
     def test_with_fused_pred_counts(self):
         g = gnm_random(200, 800, seed=2)
         o = adg_ordering(g, eps=0.1, sort_batches=True, compute_ranks=True)
-        par, _ = jp_color_parallel(g, o.ranks, workers=2,
-                                   pred_counts=o.pred_counts)
+        par, _ = jp_color(g, o.ranks, backend="threaded", workers=2,
+                          pred_counts=o.pred_counts)
         ser, _ = jp_color(g, o.ranks)
         np.testing.assert_array_equal(par, ser)
 
     def test_empty(self):
         from repro.graphs.builders import empty_graph
-        colors, waves = jp_color_parallel(empty_graph(0),
-                                          np.empty(0, dtype=np.int64))
+        colors, waves = jp_color(empty_graph(0), np.empty(0, dtype=np.int64),
+                                 backend="threaded", workers=2)
         assert colors.size == 0 and waves == 0
 
     def test_bad_ranks_length(self, small_random):
         with pytest.raises(ValueError):
-            jp_color_parallel(small_random, np.arange(3))
+            jp_color(small_random, np.arange(3), backend="threaded")
 
     def test_deterministic_across_worker_counts(self):
         """Chromatic determinism: worker count must not affect output."""
         g = chung_lu(400, 1600, seed=3)
         ranks = random_tiebreak(g.n, 5)
-        results = [jp_color_parallel(g, ranks, workers=w)[0]
+        results = [jp_color(g, ranks, backend="threaded", workers=w)[0]
                    for w in [1, 2, 5, 8]]
         for r in results[1:]:
             np.testing.assert_array_equal(r, results[0])
+
+    def test_threaded_accounting_matches_serial(self, small_random):
+        """The old fork dropped cost/mem accounting; the unified engine
+        must record identical books on both backends."""
+        ranks = random_tiebreak(small_random.n, 3)
+        cs, ms = CostModel(), MemoryModel()
+        jp_color(small_random, ranks, cost=cs, mem=ms)
+        ct, mt = CostModel(), MemoryModel()
+        jp_color(small_random, ranks, cost=ct, mem=mt,
+                 backend="threaded", workers=4)
+        assert ct.work == cs.work > 0
+        assert ct.depth == cs.depth > 0
+        assert ct.snapshot() == cs.snapshot()
+        assert (mt.sequential, mt.random) == (ms.sequential, ms.random)
+        assert mt.total > 0

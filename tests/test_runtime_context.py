@@ -1,0 +1,157 @@
+"""Unit tests for the ExecutionContext runtime."""
+
+import numpy as np
+import pytest
+
+from repro.machine.costmodel import CostModel
+from repro.machine.memmodel import MemoryModel
+from repro.runtime import (
+    BACKENDS,
+    CHUNKS_PER_WORKER,
+    ExecutionContext,
+    default_backend,
+    resolve_context,
+)
+
+
+class TestConstruction:
+    def test_defaults_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        ctx = ExecutionContext()
+        assert ctx.backend == "serial"
+        assert ctx.workers == 1
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ExecutionContext(backend="cuda")
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ExecutionContext(backend="threaded", workers=0)
+
+    def test_serial_forces_one_worker(self):
+        ctx = ExecutionContext(backend="serial", workers=8)
+        assert ctx.workers == 1
+
+    def test_env_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threaded")
+        assert default_backend() == "threaded"
+        ctx = ExecutionContext()
+        assert ctx.backend == "threaded"
+
+    def test_env_backend_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "gpu")
+        with pytest.raises(ValueError, match="REPRO_BACKEND"):
+            default_backend()
+
+    def test_env_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        ctx = ExecutionContext(backend="threaded")
+        assert ctx.workers == 3
+
+    def test_supplied_books_are_used(self):
+        cost, mem = CostModel(), MemoryModel()
+        ctx = ExecutionContext(cost=cost, mem=mem)
+        assert ctx.cost is cost and ctx.mem is mem
+
+    def test_backends_constant(self):
+        assert BACKENDS == ("serial", "threaded")
+
+    def test_describe(self):
+        ctx = ExecutionContext(backend="threaded", workers=2)
+        assert ctx.describe() == {"backend": "threaded", "workers": 2}
+
+
+class TestMapChunks:
+    def test_serial_single_chunk(self):
+        ctx = ExecutionContext(backend="serial")
+        calls = []
+        out = ctx.map_chunks(lambda lo, hi: calls.append((lo, hi)) or hi - lo,
+                             100)
+        assert calls == [(0, 100)]
+        assert out == [100]
+
+    def test_threaded_one_worker_single_chunk(self):
+        ctx = ExecutionContext(backend="threaded", workers=1)
+        out = ctx.map_chunks(lambda lo, hi: (lo, hi), 50)
+        assert out == [(0, 50)]
+
+    def test_threaded_chunk_order_and_coverage(self):
+        with ExecutionContext(backend="threaded", workers=4) as ctx:
+            spans = ctx.map_chunks(lambda lo, hi: (lo, hi), 1000)
+        assert spans[0][0] == 0 and spans[-1][1] == 1000
+        for (a, b), (c, d) in zip(spans, spans[1:]):
+            assert b == c  # contiguous, in chunk order
+        assert len(spans) <= 4 * CHUNKS_PER_WORKER
+
+    def test_threaded_concat_equals_serial(self):
+        x = np.arange(1000) % 7
+        pick = lambda lo, hi: np.flatnonzero(x[lo:hi] == 0) + lo
+        with ExecutionContext(backend="threaded", workers=4) as ctx:
+            par = np.concatenate(ctx.map_chunks(pick, x.size))
+        np.testing.assert_array_equal(par, np.flatnonzero(x == 0))
+
+    def test_empty_range(self):
+        with ExecutionContext(backend="threaded", workers=2) as ctx:
+            assert ctx.map_chunks(lambda lo, hi: hi - lo, 0) == []
+
+
+class TestPoolLifecycle:
+    def test_pool_lazy_and_closed(self):
+        ctx = ExecutionContext(backend="threaded", workers=2)
+        assert ctx._pool is None
+        ctx.map_chunks(lambda lo, hi: None, 100)
+        assert ctx._pool is not None
+        ctx.close()
+        assert ctx._pool is None
+
+    def test_child_shares_pool(self):
+        with ExecutionContext(backend="threaded", workers=2) as ctx:
+            ctx.map_chunks(lambda lo, hi: None, 100)
+            kid = ctx.child()
+            assert kid._pool_host is ctx
+            assert kid._acquire_pool() is ctx._pool
+            kid.close()  # non-host close is a no-op on the pool
+            assert ctx._pool is not None
+
+    def test_child_fresh_books(self):
+        ctx = ExecutionContext(backend="threaded", workers=2)
+        ctx.cost.round(10, 1)
+        kid = ctx.child()
+        assert kid.cost is not ctx.cost and kid.cost.work == 0
+        assert kid.mem is not ctx.mem
+        assert (kid.backend, kid.workers) == (ctx.backend, ctx.workers)
+        ctx.close()
+
+
+class TestPhase:
+    def test_phase_records_wall_and_cost(self):
+        ctx = ExecutionContext()
+        with ctx.phase("build"):
+            ctx.cost.round(5, 2)
+        with ctx.phase("build"):
+            ctx.cost.round(3, 1)
+        assert ctx.wall_by_phase["build"] >= 0.0
+        assert ctx.cost.snapshot()["build"]["work"] == 8
+
+    def test_phase_accumulates(self):
+        ctx = ExecutionContext()
+        with ctx.phase("p"):
+            pass
+        first = ctx.wall_by_phase["p"]
+        with ctx.phase("p"):
+            pass
+        assert ctx.wall_by_phase["p"] >= first
+
+
+class TestResolveContext:
+    def test_passthrough(self):
+        ctx = ExecutionContext()
+        got, owns = resolve_context(ctx)
+        assert got is ctx and owns is False
+
+    def test_fresh(self):
+        got, owns = resolve_context(None, backend="threaded", workers=2)
+        assert owns is True
+        assert (got.backend, got.workers) == ("threaded", 2)
+        got.close()
