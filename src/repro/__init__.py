@@ -20,6 +20,8 @@ The package is organized as:
 - :mod:`repro.machine` — work-depth cost model, Brent simulation;
 - :mod:`repro.runtime` — ExecutionContext: serial/threaded backends,
   chunked execution, end-to-end accounting;
+- :mod:`repro.obs` — run tracing: phase/chunk spans, per-round metric
+  series, JSONL and Chrome-trace (Perfetto) export;
 - :mod:`repro.ordering` — FF/R/LF/LLF/SL/SLL/ASL/ID/SD and **ADG**;
 - :mod:`repro.coloring` — Greedy, JP-*, ITR family, SIM-COL, **JP-ADG**,
   **DEC-ADG**, **DEC-ADG-ITR**;
@@ -65,6 +67,7 @@ from .graphs import (
     stats,
 )
 from .machine import CostModel, MemoryModel, simulate
+from .obs import NULL_TRACER, Tracer, write_chrome_trace, write_jsonl
 from .ordering import (
     ORDERINGS,
     Ordering,
@@ -90,6 +93,8 @@ __all__ = [
     "star", "stats",
     # machine
     "CostModel", "MemoryModel", "simulate",
+    # observability
+    "NULL_TRACER", "Tracer", "write_chrome_trace", "write_jsonl",
     # runtime
     "ExecutionContext", "default_backend",
     # ordering

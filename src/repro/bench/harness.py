@@ -42,6 +42,10 @@ class RunRecord:
     backend: str = "serial"
     workers: int = 1
     phase_walls: dict = field(default_factory=dict)
+    #: Tracer digest when the run was traced (per-round metric series
+    #: under "series", chunk-imbalance stats under "imbalance"), else
+    #: None.
+    trace_summary: dict | None = None
 
     @classmethod
     def from_result(cls, g: CSRGraph, d: int, res: ColoringResult,
@@ -61,6 +65,7 @@ class RunRecord:
             sim_time_32=simulate(res.combined_cost(), 32).time,
             backend=res.backend, workers=res.workers,
             phase_walls=dict(res.phase_walls),
+            trace_summary=res.trace_summary,
         )
 
     def as_dict(self) -> dict:
@@ -108,7 +113,8 @@ def run_suite(graphs: dict[str, CSRGraph],
               validate: bool = True,
               algorithm_kwargs: dict[str, dict] | None = None,
               backend: str | None = None,
-              workers: int | None = None) -> SuiteResult:
+              workers: int | None = None,
+              trace=False) -> SuiteResult:
     """Run each algorithm on each graph; returns all records.
 
     ``algorithm_kwargs`` maps algorithm name -> extra keyword arguments
@@ -118,7 +124,16 @@ def run_suite(graphs: dict[str, CSRGraph],
     reports the backend, worker count, and per-phase wall times the run
     actually used, so serial and threaded trajectories are comparable
     row by row.
+
+    ``trace=True`` traces every backend-aware run with a fresh
+    in-memory tracer, so each record's ``trace_summary`` carries that
+    run's own per-round series and imbalance stats.  Passing a
+    :class:`~repro.obs.Tracer` instance instead shares one trace across
+    the whole suite (one exportable file; per-record summaries are then
+    cumulative snapshots).
     """
+    from ..obs import Tracer
+
     if algorithms is None:
         algorithms = sorted(ALGORITHMS)
     algorithm_kwargs = algorithm_kwargs or {}
@@ -130,7 +145,9 @@ def run_suite(graphs: dict[str, CSRGraph],
             kwargs.setdefault("seed", seed)
             if alg in ("JP-ADG", "DEC-ADG-ITR"):
                 kwargs.setdefault("eps", eps)
-            res = color(alg, g, backend=backend, workers=workers, **kwargs)
+            run_trace = Tracer() if trace is True else (trace or None)
+            res = color(alg, g, backend=backend, workers=workers,
+                        trace=run_trace, **kwargs)
             if validate:
                 assert_valid_coloring(g, res.colors)
             eff_eps = kwargs.get("eps", eps)

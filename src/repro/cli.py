@@ -2,10 +2,15 @@
 
 Commands
 --------
-color   Color a graph file (or a generated graph) with any algorithm.
-order   Compute a vertex ordering and report its quality metrics.
-stats   Structural statistics of a graph.
-suite   Run the Fig.-1-style harness over a dataset suite.
+color    Color a graph file (or a generated graph) with any algorithm.
+order    Compute a vertex ordering and report its quality metrics.
+stats    Structural statistics of a graph.
+suite    Run the Fig.-1-style harness over a dataset suite.
+profile  Trace one run and print per-phase / per-round breakdowns.
+
+Every subcommand accepts ``--trace FILE`` to export a run trace:
+``.jsonl`` writes the structured event log, any other extension writes
+Chrome trace JSON (open at https://ui.perfetto.dev).
 
 Graphs are read from SNAP edge lists, METIS files, or NPZ (by
 extension), or generated on the fly with ``--gen``.
@@ -43,6 +48,21 @@ GENERATORS = {
 }
 
 
+def make_tracer(args: argparse.Namespace):
+    """A path-bound Tracer for --trace FILE, else None (env-resolved)."""
+    if getattr(args, "trace", None):
+        from .obs import Tracer
+        return Tracer(path=args.trace)
+    return None
+
+
+def flush_trace(tracer) -> None:
+    if tracer is not None:
+        path = tracer.flush()
+        if path:
+            print(f"trace written to {path}", file=sys.stderr)
+
+
 def load_graph(args: argparse.Namespace) -> CSRGraph:
     """Resolve --graph / --gen into a CSRGraph."""
     if args.gen:
@@ -67,16 +87,20 @@ def cmd_color(args: argparse.Namespace) -> int:
     kwargs: dict = {"seed": args.seed}
     if args.algorithm in ("JP-ADG", "DEC-ADG-ITR"):
         kwargs["eps"] = args.eps
+    tracer = make_tracer(args)
     res = color(args.algorithm, g, backend=args.backend,
-                workers=args.workers, **kwargs)
+                workers=args.workers, trace=tracer, **kwargs)
     assert_valid_coloring(g, res.colors)
     summary = res.summary()
     summary["graph"] = g.name
     summary["degeneracy"] = degeneracy(g)
     if args.json:
+        summary["phase_walls"] = {k: round(v, 6)
+                                  for k, v in res.phase_walls.items()}
         print(json.dumps(summary))
     else:
         print(format_table([summary]))
+    flush_trace(tracer)
     if args.output:
         import numpy as np
         np.savetxt(args.output, res.colors, fmt="%d")
@@ -91,7 +115,9 @@ def cmd_order(args: argparse.Namespace) -> int:
     kwargs: dict = {"seed": args.seed}
     if args.ordering in ("ADG", "ADG-M"):
         kwargs["eps"] = args.eps
-    with ExecutionContext(backend=args.backend, workers=args.workers) as ctx:
+    tracer = make_tracer(args)
+    with ExecutionContext(backend=args.backend, workers=args.workers,
+                          trace=tracer) as ctx:
         o = get_ordering(args.ordering, g, ctx=ctx, **kwargs)
     d = degeneracy(g)
     row = {
@@ -102,18 +128,25 @@ def cmd_order(args: argparse.Namespace) -> int:
                           if o.levels is not None else "n/a"),
     }
     print(json.dumps(row) if args.json else format_table([row]))
+    flush_trace(tracer)
     return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    tracer = make_tracer(args)
     g = load_graph(args)
-    s = stats(g)
+    if tracer is not None:
+        with tracer.span("stats"):
+            s = stats(g)
+    else:
+        s = stats(g)
     row = {"graph": s.name, "n": s.n, "m": s.m, "max_degree": s.max_degree,
            "min_degree": s.min_degree,
            "avg_degree": round(s.avg_degree, 3),
            "degeneracy": s.degeneracy,
            "d_over_sqrt_m": round(s.degeneracy_to_sqrt_m, 4)}
     print(json.dumps(row) if args.json else format_table([row]))
+    flush_trace(tracer)
     return 0
 
 
@@ -147,8 +180,11 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         print(f"wrote {path}", file=sys.stderr)
 
     print("running the Fig. 1 suite ...", file=sys.stderr)
+    tracer = make_tracer(args)  # --trace captures the Fig. 1 suite runs
     result = run_suite(suite("small"), algorithms=FIGURE1_SET,
-                       eps=args.eps, seed=args.seed)
+                       eps=args.eps, seed=args.seed,
+                       trace=tracer if tracer is not None else False)
+    flush_trace(tracer)
     emit("fig1_runtime_small", "Fig. 1 run-times (smaller graphs)",
          fig1_runtime_report(result))
     emit("fig1_quality_small", "Fig. 1 quality (smaller graphs)",
@@ -194,9 +230,11 @@ def cmd_suite(args: argparse.Namespace) -> int:
 
     graphs = suite(args.suite)
     algorithms = args.algorithms.split(",") if args.algorithms else None
+    tracer = make_tracer(args)
     result = run_suite(graphs, algorithms=algorithms, eps=args.eps,
                        seed=args.seed, backend=args.backend,
-                       workers=args.workers)
+                       workers=args.workers,
+                       trace=tracer if tracer is not None else False)
     rows = result.as_rows()
     if args.json:
         print(json.dumps(rows))
@@ -204,6 +242,47 @@ def cmd_suite(args: argparse.Namespace) -> int:
         cols = ["graph", "algorithm", "colors", "quality_bound", "work",
                 "depth", "sim_time_32", "backend", "workers"]
         print(format_table(rows, columns=cols))
+    flush_trace(tracer)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Trace one run and print its per-phase / per-round breakdown."""
+    from .obs import (
+        Tracer,
+        imbalance_breakdown,
+        phase_breakdown,
+        round_breakdown,
+    )
+
+    g = load_graph(args)
+    kwargs: dict = {"seed": args.seed}
+    if args.algorithm in ("JP-ADG", "DEC-ADG-ITR"):
+        kwargs["eps"] = args.eps
+    tracer = Tracer(path=args.trace or None)
+    res = color(args.algorithm, g, backend=args.backend,
+                workers=args.workers, trace=tracer, **kwargs)
+    assert_valid_coloring(g, res.colors)
+
+    summary = res.summary()
+    summary["graph"] = g.name
+    phases = phase_breakdown(res, tracer)
+    rounds = round_breakdown(tracer)
+    imbalance = imbalance_breakdown(tracer)
+    if args.json:
+        print(json.dumps({"summary": summary, "phases": phases,
+                          "rounds": rounds, "imbalance": imbalance}))
+    else:
+        print(format_table([summary]))
+        print("\n== per-phase breakdown (exclusive wall) ==")
+        print(format_table(phases))
+        if rounds:
+            print("\n== per-round metrics ==")
+            print(format_table(rounds))
+        if imbalance:
+            print("\n== chunked rounds (threaded imbalance) ==")
+            print(format_table(imbalance))
+    flush_trace(tracer)
     return 0
 
 
@@ -229,6 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=None,
                        help="threaded-backend worker count "
                             "(default: $REPRO_WORKERS or CPU count)")
+        p.add_argument("--trace", metavar="FILE",
+                       help="export a run trace: .jsonl for the event "
+                            "log, anything else for Chrome trace JSON "
+                            "(open in Perfetto)")
 
     p_color = sub.add_parser("color", help="run a coloring algorithm")
     common(p_color)
@@ -254,6 +337,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--algorithms",
                          help="comma-separated algorithm names")
     p_suite.set_defaults(fn=cmd_suite)
+
+    p_profile = sub.add_parser(
+        "profile", help="trace one run; print per-phase and per-round "
+                        "breakdowns")
+    common(p_profile)
+    p_profile.add_argument("--algorithm", default="JP-ADG",
+                           choices=sorted(ALGORITHMS))
+    p_profile.set_defaults(fn=cmd_profile)
 
     p_repro = sub.add_parser(
         "reproduce", help="regenerate every paper table/figure")

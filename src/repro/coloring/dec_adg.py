@@ -68,7 +68,8 @@ def dec_adg(g: CSRGraph, eps: float = 6.0, seed: int | None = 0,
             max_rounds: int | None = None,
             ctx: ExecutionContext | None = None,
             backend: str | None = None,
-            workers: int | None = None) -> ColoringResult:
+            workers: int | None = None,
+            trace=None) -> ColoringResult:
     """Run DEC-ADG (or DEC-ADG-M with ``variant='median'``).
 
     ``update='pull'`` uses the CREW ADG (Alg. 2) for the decomposition,
@@ -80,12 +81,14 @@ def dec_adg(g: CSRGraph, eps: float = 6.0, seed: int | None = 0,
     rng = np.random.default_rng(seed)
     mu = eps / 4.0
 
-    ctx, owns = resolve_context(ctx, backend=backend, workers=workers)
+    ctx, owns = resolve_context(ctx, backend=backend, workers=workers,
+                                trace=trace)
     try:
         t0 = time.perf_counter()
         ordering = adg_ordering(g, eps=eps / 12.0, variant=variant,
                                 update=update, seed=seed, ctx=ctx)
         reorder_wall = time.perf_counter() - t0
+        tracer = ctx.tracer
 
         cost, mem = ctx.cost, ctx.mem
         n = g.n
@@ -118,6 +121,12 @@ def dec_adg(g: CSRGraph, eps: float = 6.0, seed: int | None = 0,
                 cost.scatter_decrement(int(keep.sum()))
                 mem.gather(int(keep.sum()), "dec:color")
 
+                if tracer.enabled:
+                    tracer.gauge("dec.partition", int(verts.size),
+                                 round=level)
+                    tracer.gauge("dec.palette", int(width), round=level)
+                    tracer.count("dec.colored", int(verts.size),
+                                 round=level)
                 local_colors, rounds = sim_col(sub.graph, counts_ge, forbidden,
                                                mu, rng, ctx=ctx,
                                                max_rounds=max_rounds)
@@ -132,7 +141,8 @@ def dec_adg(g: CSRGraph, eps: float = 6.0, seed: int | None = 0,
                               wall_seconds=wall,
                               reorder_wall_seconds=reorder_wall,
                               backend=ctx.backend, workers=ctx.workers,
-                              phase_walls=dict(ctx.wall_by_phase))
+                              phase_walls=dict(ctx.wall_by_phase),
+                              trace_summary=ctx.trace_summary())
     finally:
         if owns:
             ctx.close()

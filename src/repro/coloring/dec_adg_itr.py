@@ -43,6 +43,7 @@ def _itr_partition(part: CSRGraph, forbidden: np.ndarray,
     active = np.arange(n, dtype=np.int64)
     rounds = 0
     conflicts = 0
+    tracer = ctx.tracer
     limit = max_rounds if max_rounds is not None else 4 * n + 64
     width = forbidden.shape[1]
 
@@ -89,6 +90,11 @@ def _itr_partition(part: CSRGraph, forbidden: np.ndarray,
         losers = active[lost]
         colors[losers] = 0
         conflicts += losers.size
+        if tracer.enabled:
+            tracer.gauge("dec-itr.active", int(active.size), round=rounds)
+            tracer.count("dec-itr.conflicts", int(losers.size), round=rounds)
+            tracer.count("dec-itr.colored",
+                         int(active.size) - int(losers.size), round=rounds)
 
         # Record newly committed colors in active neighbors' bitmaps —
         # after the losers are reset, so only kept colors are forbidden.
@@ -110,11 +116,13 @@ def dec_adg_itr(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
                 variant: str = "avg", max_rounds: int | None = None,
                 ctx: ExecutionContext | None = None,
                 backend: str | None = None,
-                workers: int | None = None) -> ColoringResult:
+                workers: int | None = None,
+                trace=None) -> ColoringResult:
     """Run DEC-ADG-ITR (quality <= 2(1+eps)d + 1)."""
     if eps < 0:
         raise ValueError(f"eps must be >= 0, got {eps}")
-    ctx, owns = resolve_context(ctx, backend=backend, workers=workers)
+    ctx, owns = resolve_context(ctx, backend=backend, workers=workers,
+                                trace=trace)
     try:
         t0 = time.perf_counter()
         ordering = adg_ordering(g, eps=eps, variant=variant, seed=seed,
@@ -130,6 +138,7 @@ def dec_adg_itr(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
         priority_global = random_tiebreak(n, seed)
         rounds_total = 0
         conflicts_total = 0
+        tracer = ctx.tracer
 
         t0 = time.perf_counter()
         with ctx.phase("dec-itr:color"):
@@ -149,6 +158,10 @@ def dec_adg_itr(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
                 keep = (taken > 0) & (taken < width)
                 forbidden[owners[keep], taken[keep]] = True
                 cost.scatter_decrement(int(keep.sum()))
+                if tracer.enabled:
+                    tracer.gauge("dec-itr.partition", int(verts.size),
+                                 round=level)
+                    tracer.gauge("dec-itr.palette", int(width), round=level)
 
                 local_colors, rounds, conflicts = _itr_partition(
                     sub.graph, forbidden, priority_global[verts], ctx,
@@ -166,7 +179,8 @@ def dec_adg_itr(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
                               wall_seconds=wall,
                               reorder_wall_seconds=reorder_wall,
                               backend=ctx.backend, workers=ctx.workers,
-                              phase_walls=dict(ctx.wall_by_phase))
+                              phase_walls=dict(ctx.wall_by_phase),
+                              trace_summary=ctx.trace_summary())
     finally:
         if owns:
             ctx.close()

@@ -69,7 +69,8 @@ def jp_color(g: CSRGraph, ranks: np.ndarray,
              pred_counts: np.ndarray | None = None,
              ctx: ExecutionContext | None = None,
              backend: str | None = None,
-             workers: int | None = None) -> tuple[np.ndarray, int]:
+             workers: int | None = None,
+             trace=None) -> tuple[np.ndarray, int]:
     """Color ``g`` under the total order ``ranks``; returns (colors, waves).
 
     ``pred_counts`` (per-vertex number of higher-ranked neighbors) lets
@@ -82,7 +83,7 @@ def jp_color(g: CSRGraph, ranks: np.ndarray,
     """
     ranks = validate_ranks(g, ranks)
     ctx, owns = resolve_context(ctx, backend=backend, workers=workers,
-                                cost=cost, mem=mem)
+                                cost=cost, mem=mem, trace=trace)
     try:
         cost, mem = ctx.cost, ctx.mem
         n = g.n
@@ -99,6 +100,7 @@ def jp_color(g: CSRGraph, ranks: np.ndarray,
 
         frontier = np.flatnonzero(count == 0).astype(np.int64)
         waves = 0
+        tracer = ctx.tracer
         with ctx.phase("jp:color"):
             while frontier.size:
                 waves += 1
@@ -128,6 +130,13 @@ def jp_color(g: CSRGraph, ranks: np.ndarray,
                 mem.gather(nbrs_total, "jp:color")
                 cost.round(nbrs_total + frontier.size,
                            log2_ceil(max(wave_deg, 1)) + 1)
+                if tracer.enabled:
+                    tracer.gauge("jp.frontier", int(frontier.size),
+                                 round=waves)
+                    tracer.count("jp.colored", int(frontier.size),
+                                 round=waves)
+                    tracer.gauge("jp.wave_degree", int(wave_deg),
+                                 round=waves)
                 # Join: notify successors, release the ones that hit zero.
                 succ = np.concatenate(succs) if succs else \
                     np.empty(0, dtype=np.int64)
@@ -143,14 +152,16 @@ def jp_color(g: CSRGraph, ranks: np.ndarray,
 def jp(g: CSRGraph, ordering: Ordering, use_fused_ranks: bool = True,
        ctx: ExecutionContext | None = None,
        backend: str | None = None,
-       workers: int | None = None) -> ColoringResult:
+       workers: int | None = None,
+       trace=None) -> ColoringResult:
     """Run JP under a precomputed ordering.
 
     When the ordering carries fused predecessor counts (ADG-O with
     ``compute_ranks=True``) they are used automatically, skipping JP's
     DAG-construction part; pass ``use_fused_ranks=False`` to disable.
     """
-    ctx, owns = resolve_context(ctx, backend=backend, workers=workers)
+    ctx, owns = resolve_context(ctx, backend=backend, workers=workers,
+                                trace=trace)
     try:
         pred = ordering.pred_counts if use_fused_ranks else None
         t0 = time.perf_counter()
@@ -163,7 +174,8 @@ def jp(g: CSRGraph, ordering: Ordering, use_fused_ranks: bool = True,
                               reorder_mem=ordering.mem, rounds=waves,
                               wall_seconds=wall, backend=ctx.backend,
                               workers=ctx.workers,
-                              phase_walls=dict(ctx.wall_by_phase))
+                              phase_walls=dict(ctx.wall_by_phase),
+                              trace_summary=ctx.trace_summary())
     finally:
         if owns:
             ctx.close()
@@ -172,9 +184,10 @@ def jp(g: CSRGraph, ordering: Ordering, use_fused_ranks: bool = True,
 def jp_by_name(g: CSRGraph, ordering_name: str, seed: int | None = 0,
                ctx: ExecutionContext | None = None,
                backend: str | None = None, workers: int | None = None,
-               **ordering_kwargs) -> ColoringResult:
+               trace=None, **ordering_kwargs) -> ColoringResult:
     """JP-X for any ordering name in the registry (e.g. 'ADG', 'LLF')."""
-    ctx, owns = resolve_context(ctx, backend=backend, workers=workers)
+    ctx, owns = resolve_context(ctx, backend=backend, workers=workers,
+                                trace=trace)
     try:
         t0 = time.perf_counter()
         ordering = get_ordering(ordering_name, g, seed=seed, ctx=ctx,
@@ -202,7 +215,7 @@ def jp_adg_m(g: CSRGraph, seed: int | None = 0, **kwargs) -> ColoringResult:
 def jp_adg_fused(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
                  ctx: ExecutionContext | None = None,
                  backend: str | None = None, workers: int | None = None,
-                 **adg_kwargs) -> ColoringResult:
+                 trace=None, **adg_kwargs) -> ColoringResult:
     """JP-ADG-O with the SS V-C fusion: ADG sorts its batches into an
     explicit total order and emits the DAG predecessor counts from its
     own UPDATE, so JP starts coloring without a DAG-construction pass."""
@@ -210,7 +223,8 @@ def jp_adg_fused(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
 
     adg_kwargs.setdefault("sort_batches", True)
     adg_kwargs.setdefault("compute_ranks", True)
-    ctx, owns = resolve_context(ctx, backend=backend, workers=workers)
+    ctx, owns = resolve_context(ctx, backend=backend, workers=workers,
+                                trace=trace)
     try:
         t0 = time.perf_counter()
         ordering = adg_ordering(g, eps=eps, seed=seed, ctx=ctx, **adg_kwargs)

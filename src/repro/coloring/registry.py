@@ -87,13 +87,17 @@ FIGURE1_SET = SC_CLASS + JP_CLASS
 
 
 def color(name: str, g: CSRGraph, backend: str | None = None,
-          workers: int | None = None, **kwargs) -> ColoringResult:
+          workers: int | None = None, trace=None,
+          **kwargs) -> ColoringResult:
     """Run the named coloring algorithm on ``g``.
 
     ``backend`` / ``workers`` select the execution runtime for the
     algorithms in :data:`BACKEND_AWARE`; serial-only algorithms ignore
     them (their results report ``backend='serial'``), so a whole suite
-    can be driven with one backend switch.
+    can be driven with one backend switch.  ``trace`` (a
+    :class:`~repro.obs.Tracer`, a sink path, or ``True``) enables run
+    tracing on the same set of algorithms; the result's
+    ``trace_summary`` then carries the per-round series.
     """
     try:
         fn = ALGORITHMS[name]
@@ -103,4 +107,5 @@ def color(name: str, g: CSRGraph, backend: str | None = None,
     if name in BACKEND_AWARE:
         kwargs.setdefault("backend", backend)
         kwargs.setdefault("workers", workers)
+        kwargs.setdefault("trace", trace)
     return fn(g, **kwargs)

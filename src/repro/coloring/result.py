@@ -23,7 +23,13 @@ class ColoringResult:
     ``backend``/``workers`` record the execution configuration the run
     used (colors are backend-independent by construction; wall times
     are not), and ``phase_walls`` the per-phase wall-clock split from
-    the :class:`~repro.runtime.ExecutionContext` timers.
+    the :class:`~repro.runtime.ExecutionContext` timers (exclusive
+    time per phase).
+
+    ``trace_summary`` is ``None`` unless the run was traced
+    (:mod:`repro.obs`): then it carries the tracer digest — event
+    counts, run-wide per-phase self walls, the per-round metric series
+    (frontier/batch/conflict dynamics), and the chunk-imbalance stats.
     """
 
     algorithm: str
@@ -39,6 +45,7 @@ class ColoringResult:
     backend: str = "serial"
     workers: int = 1
     phase_walls: dict[str, float] = field(default_factory=dict)
+    trace_summary: dict | None = None
 
     def __post_init__(self) -> None:
         self.colors = np.asarray(self.colors, dtype=np.int64)

@@ -74,6 +74,7 @@ def sim_col(
                              f"color range {int(cap.max())}")
         active = np.arange(n, dtype=np.int64)
         rounds = 0
+        tracer = ctx.tracer
         limit = max_rounds if max_rounds is not None else 64 * (n.bit_length() + 2)
 
         while active.size:
@@ -111,6 +112,12 @@ def sim_col(
             cost.round(nbrs_total + active.size, log2_ceil(max(md, 1)) + 1)
             mem.gather(nbrs_total, "simcol")
             colors[active[clash]] = 0
+            if tracer.enabled:
+                n_clash = int(clash.sum())
+                tracer.gauge("simcol.active", int(active.size), round=rounds)
+                tracer.count("simcol.conflicts", n_clash, round=rounds)
+                tracer.count("simcol.colored", int(active.size) - n_clash,
+                             round=rounds)
 
             # Part 3: record the newly fixed colors in the neighbors'
             # bitmaps — after the clash rejections above, so only truly

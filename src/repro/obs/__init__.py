@@ -1,0 +1,33 @@
+"""repro.obs — the run-trace subsystem.
+
+Structured tracing (phase spans, per-chunk events with worker ids,
+round imbalance summaries), a counter/gauge registry for per-round
+metric series, and exporters: an in-memory structured log (queryable in
+tests), a JSONL event log, and a Chrome trace-event JSON that loads in
+Perfetto.  The zero-overhead default is :data:`NULL_TRACER`; enable via
+``ExecutionContext(trace=...)``, ``--trace FILE`` on any CLI
+subcommand, or ``$REPRO_TRACE``.
+"""
+
+from .chrome import chrome_trace, write_chrome_trace
+from .metrics import MetricPoint, MetricsRegistry, Series
+from .profile import imbalance_breakdown, phase_breakdown, round_breakdown
+from .sinks import jsonl_records, read_jsonl, write_jsonl
+from .tracer import (
+    CATEGORIES,
+    NULL_TRACER,
+    NullTracer,
+    SpanEvent,
+    Tracer,
+    resolve_tracer,
+)
+from .validate import validate_chrome, validate_jsonl, validate_trace_file
+
+__all__ = [
+    "CATEGORIES", "NULL_TRACER", "MetricPoint", "MetricsRegistry",
+    "NullTracer", "Series", "SpanEvent", "Tracer", "chrome_trace",
+    "imbalance_breakdown", "jsonl_records", "phase_breakdown",
+    "read_jsonl", "resolve_tracer", "round_breakdown",
+    "validate_chrome", "validate_jsonl", "validate_trace_file",
+    "write_chrome_trace", "write_jsonl",
+]

@@ -1,0 +1,121 @@
+"""Counter/gauge registry for per-round metric series.
+
+The paper's claims are *per-round* claims: frontier sizes, batch sizes,
+conflict counts, and palette widths evolve round by round (Alg. 1-5),
+while the repo's accounting books only keep end-of-run totals.  Engines
+emit one metric point per round through the tracer; the registry keeps
+the full series so tests, the bench harness, and the ``profile`` CLI
+can inspect the round-by-round dynamics of a run.
+
+Two metric kinds, following the usual convention:
+
+- a **counter** accumulates (``jp.colored``: vertices colored this
+  round; the series sums to ``n`` over a full run);
+- a **gauge** samples a level (``jp.frontier``: frontier size entering
+  the round; ``dec.palette``: bitmap width of the current partition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+KINDS = ("counter", "gauge")
+
+
+@dataclass
+class MetricPoint:
+    """One observation: ``value`` at ``round`` (``t`` seconds in)."""
+
+    value: float
+    round: int
+    t: float
+
+
+@dataclass
+class Series:
+    """All points of one named metric, in emission order."""
+
+    name: str
+    kind: str
+    points: list[MetricPoint] = field(default_factory=list)
+
+    def add(self, value: float, round: int, t: float) -> None:
+        self.points.append(MetricPoint(float(value), int(round), float(t)))
+
+    @property
+    def total(self) -> float:
+        """Sum of all points (the natural aggregate for counters)."""
+        return sum(p.value for p in self.points)
+
+    @property
+    def last(self) -> float:
+        """Most recent value (the natural aggregate for gauges)."""
+        return self.points[-1].value if self.points else 0.0
+
+    def by_round(self) -> dict[int, float]:
+        """Collapse to one value per round: counters sum repeated points
+        for the same round id (DEC partitions restart their round
+        counter), gauges keep the last sample."""
+        out: dict[int, float] = {}
+        for p in self.points:
+            if self.kind == "counter":
+                out[p.round] = out.get(p.round, 0.0) + p.value
+            else:
+                out[p.round] = p.value
+        return out
+
+    def as_pairs(self) -> list[list[float]]:
+        """``[[round, value], ...]`` in emission order (JSON-friendly)."""
+        return [[p.round, p.value] for p in self.points]
+
+
+class MetricsRegistry:
+    """Name -> :class:`Series` map with kind checking.
+
+    A name is bound to its kind on first emission; emitting the same
+    name with the other kind is a bug in the engine and raises.
+    """
+
+    def __init__(self) -> None:
+        self._series: dict[str, Series] = {}
+
+    def _get(self, name: str, kind: str) -> Series:
+        s = self._series.get(name)
+        if s is None:
+            s = self._series[name] = Series(name=name, kind=kind)
+        elif s.kind != kind:
+            raise ValueError(f"metric {name!r} is a {s.kind}, not a {kind}")
+        return s
+
+    def count(self, name: str, value: float, round: int = 0,
+              t: float = 0.0) -> None:
+        self._get(name, "counter").add(value, round, t)
+
+    def gauge(self, name: str, value: float, round: int = 0,
+              t: float = 0.0) -> None:
+        self._get(name, "gauge").add(value, round, t)
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def get(self, name: str) -> Series:
+        return self._series[name]
+
+    def series(self, name: str) -> list[tuple[int, float]]:
+        """``[(round, value), ...]`` for one metric, emission order."""
+        return [(p.round, p.value) for p in self._series[name].points]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def summary(self) -> dict:
+        """Flat JSON-friendly digest: per-metric kind, points, aggregate."""
+        out = {}
+        for name in self.names():
+            s = self._series[name]
+            out[name] = {"kind": s.kind, "points": len(s.points),
+                         "total": s.total, "last": s.last}
+        return out

@@ -1,0 +1,47 @@
+"""JSONL sink: one JSON object per line, streaming-friendly.
+
+Line 1 is a ``meta`` header (schema version plus the run context the
+ExecutionContext injected); every following line is a ``span`` or a
+``metric`` record.  The format round-trips through :func:`read_jsonl`
+and is validated line by line in :mod:`repro.obs.validate` (the CI
+smoke job runs that validator on a real trace).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator
+
+JSONL_VERSION = 1
+
+
+def jsonl_records(tracer) -> Iterator[dict]:
+    """Yield the trace as JSON-ready dicts (header, spans, metrics)."""
+    yield {"type": "meta", "version": JSONL_VERSION, **tracer.meta}
+    for e in tracer.events:
+        yield {"type": "span", "name": e.name, "cat": e.cat,
+               "t0": e.t0, "t1": e.t1, "tid": e.tid, "args": e.args}
+    for name in tracer.metrics.names():
+        s = tracer.metrics.get(name)
+        for p in s.points:
+            yield {"type": "metric", "name": name, "kind": s.kind,
+                   "value": p.value, "round": p.round, "t": p.t}
+
+
+def write_jsonl(tracer, path: str) -> str:
+    """Write the trace to ``path`` as JSONL; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in jsonl_records(tracer):
+            fh.write(json.dumps(rec) + "\n")
+    return path
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Load every record of a JSONL trace (header first)."""
+    out = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -46,6 +46,7 @@ def adg_ordering(
     ctx: ExecutionContext | None = None,
     backend: str | None = None,
     workers: int | None = None,
+    trace=None,
 ) -> Ordering:
     """Compute the (partial) approximate degeneracy ordering of ``g``.
 
@@ -80,8 +81,9 @@ def adg_ordering(
         owns = False
     else:
         run = ExecutionContext(backend=backend, workers=workers,
-                               crew=(update == "pull"))
+                               crew=(update == "pull"), trace=trace)
         owns = True
+    tracer = run.tracer
     cost, mem = run.cost, run.mem
     n = g.n
     D = g.degrees
@@ -153,6 +155,11 @@ def adg_ordering(
                 active[batch] = False
                 remaining -= batch.size
                 cost.round(batch.size, 1)  # U = U \ R via bitmap overwrite
+                if tracer.enabled:
+                    tracer.count("adg.batch", int(batch.size),
+                                 round=iteration)
+                    tracer.gauge("adg.remaining", int(remaining),
+                                 round=iteration)
 
                 # -- degree update ----------------------------------------------
                 if update == "push":

@@ -1,15 +1,17 @@
 """Unified execution runtime: backend selection, chunked execution,
-end-to-end accounting behind one :class:`ExecutionContext` object."""
+end-to-end accounting and tracing behind one :class:`ExecutionContext`
+object."""
 
 from .context import (
     BACKENDS,
     CHUNKS_PER_WORKER,
+    ChunkError,
     ExecutionContext,
     default_backend,
     resolve_context,
 )
 
 __all__ = [
-    "BACKENDS", "CHUNKS_PER_WORKER", "ExecutionContext",
+    "BACKENDS", "CHUNKS_PER_WORKER", "ChunkError", "ExecutionContext",
     "default_backend", "resolve_context",
 ]

@@ -10,7 +10,14 @@ needs to execute those rounds and account for them:
   behind one :meth:`map_chunks` seam;
 - the :class:`~repro.machine.costmodel.CostModel` and
   :class:`~repro.machine.memmodel.MemoryModel` accounting books;
-- per-phase wall-clock timers (:meth:`phase`).
+- per-phase wall-clock timers (:meth:`phase`), recording *exclusive*
+  (self) time so nested phases never double-count;
+- a run tracer (:mod:`repro.obs`): span events per phase, per-chunk
+  events with worker ids and an imbalance summary per chunked round,
+  and the per-round metric series engines emit.  The default is the
+  no-op null tracer — every traced code path branches on
+  ``tracer.enabled``, so an untraced run executes exactly the
+  pre-tracing instructions.
 
 The contract every engine written against this context obeys: the
 *threaded* backend chunks each round over independent spans and combines
@@ -18,7 +25,8 @@ the partial results in deterministic chunk order, so colors, waves, and
 the recorded work/depth/memory totals are **bit-identical** to the
 serial backend.  On the serial backend :meth:`map_chunks` degrades to a
 single chunk — zero chunking overhead, exactly the monolithic
-vectorized round.
+vectorized round.  Tracing is observation only: enabling it never
+changes results or accounting.
 
 Future backends (process pools, numba kernels) plug in here: implement
 the :meth:`map_chunks` seam for the new backend and every engine gains
@@ -36,6 +44,7 @@ from typing import Callable, TypeVar
 from ..machine.costmodel import CostModel
 from ..machine.memmodel import MemoryModel
 from ..machine.parallel import default_workers, split_chunks
+from ..obs import resolve_tracer
 
 T = TypeVar("T")
 
@@ -44,6 +53,16 @@ BACKENDS = ("serial", "threaded")
 #: Chunks per worker: oversubscription smooths load imbalance between
 #: spans (frontier vertices have wildly varying degrees).
 CHUNKS_PER_WORKER = 4
+
+
+class ChunkError(RuntimeError):
+    """A chunk of a :meth:`ExecutionContext.map_chunks` round raised.
+
+    Carries the failing chunk's ``[lo, hi)`` range in the message and
+    chains the original exception; remaining futures of the round are
+    cancelled (pending) or drained (running) before this is raised, so
+    no worker outlives the call.
+    """
 
 
 def default_backend() -> str:
@@ -58,7 +77,7 @@ def default_backend() -> str:
 
 
 class ExecutionContext:
-    """One object carrying backend, pool, accounting, and timers.
+    """One object carrying backend, pool, accounting, timers, and tracer.
 
     Parameters
     ----------
@@ -74,17 +93,23 @@ class ExecutionContext:
     crew:
         Passed to a freshly created :class:`CostModel` (CREW charging
         for scatter primitives).
+    trace:
+        A :class:`~repro.obs.Tracer`, a sink path, ``True`` (in-memory),
+        ``False`` (off), or ``None`` to defer to ``$REPRO_TRACE`` — see
+        :func:`repro.obs.resolve_tracer`.  Defaults to the zero-overhead
+        null tracer.
 
     The context is a context manager; the thread pool is created lazily
     on first threaded :meth:`map_chunks` and shut down by
-    :meth:`close` / ``__exit__``.  :meth:`child` derives a context with
-    fresh accounting books that *shares* the pool (used to account an
+    :meth:`close` / ``__exit__`` (which also flushes a path-bound
+    tracer).  :meth:`child` derives a context with fresh accounting
+    books that *shares* the pool and the tracer (used to account an
     ordering phase separately from the coloring phase of one run).
     """
 
     def __init__(self, backend: str | None = None, workers: int | None = None,
                  cost: CostModel | None = None, mem: MemoryModel | None = None,
-                 crew: bool = False,
+                 crew: bool = False, trace=None,
                  _pool_host: "ExecutionContext | None" = None):
         self.backend = backend if backend is not None else default_backend()
         if self.backend not in BACKENDS:
@@ -99,8 +124,16 @@ class ExecutionContext:
         self.cost = cost if cost is not None else CostModel(crew=crew)
         self.mem = mem if mem is not None else MemoryModel()
         self.wall_by_phase: dict[str, float] = {}
+        self.tracer = resolve_tracer(trace)
+        if self.tracer.enabled:
+            self.tracer.meta.setdefault("backend", self.backend)
+            self.tracer.meta.setdefault("workers", self.workers)
         self._pool_host = _pool_host if _pool_host is not None else self
         self._pool: ThreadPoolExecutor | None = None
+        # Open-phase stack: [name, child_wall_seconds] frames, for
+        # exclusive timing and for labeling traced rounds.
+        self._phase_stack: list[list] = []
+        self._round_seq = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -111,17 +144,21 @@ class ExecutionContext:
         self.close()
 
     def close(self) -> None:
-        """Shut down the pool (only if this context is its host)."""
-        if self._pool_host is self and self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut down the pool and flush a path-bound tracer (only if
+        this context is the pool host)."""
+        if self._pool_host is self:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            self.tracer.flush()
 
     def child(self, cost: CostModel | None = None,
               mem: MemoryModel | None = None,
               crew: bool = False) -> "ExecutionContext":
-        """Same backend/workers/pool, fresh accounting books and timers."""
+        """Same backend/workers/pool/tracer, fresh books and timers."""
         return ExecutionContext(backend=self.backend, workers=self.workers,
                                 cost=cost, mem=mem, crew=crew,
+                                trace=self.tracer,
                                 _pool_host=self._pool_host)
 
     def _acquire_pool(self) -> ThreadPoolExecutor | None:
@@ -140,33 +177,135 @@ class ExecutionContext:
         call is exactly ``[fn(0, n)]``.  Threaded backend: balanced
         chunks on the shared pool; results are returned in chunk order,
         so order-dependent combines are deterministic.
+
+        A chunk that raises aborts the round as a :class:`ChunkError`
+        naming the chunk's range; pending chunks are cancelled and
+        running ones drained before the error propagates.
         """
         if self.backend == "serial" or self.workers <= 1:
-            return [fn(lo, hi) for lo, hi in split_chunks(n, 1)]
-        chunks = split_chunks(n, self.workers * CHUNKS_PER_WORKER)
-        pool = self._acquire_pool()
-        if pool is None or len(chunks) <= 1:
-            return [fn(lo, hi) for lo, hi in chunks]
+            chunks = split_chunks(n, 1)
+            pool = None
+        else:
+            chunks = split_chunks(n, self.workers * CHUNKS_PER_WORKER)
+            pool = self._acquire_pool() if len(chunks) > 1 else None
+        if self.tracer.enabled:
+            return self._map_chunks_traced(fn, n, chunks, pool)
+        if pool is None:
+            return self._run_inline(fn, chunks, n)
+        return self._run_pooled(pool, fn, chunks, n)
+
+    def _run_inline(self, fn, chunks, n: int) -> list:
+        out = []
+        for lo, hi in chunks:
+            try:
+                out.append(fn(lo, hi))
+            except Exception as exc:
+                raise ChunkError(f"map_chunks chunk [{lo}, {hi}) of "
+                                 f"{n} items failed: {exc}") from exc
+        return out
+
+    def _run_pooled(self, pool, fn, chunks, n: int) -> list:
         futures = [pool.submit(fn, lo, hi) for lo, hi in chunks]
-        return [f.result() for f in futures]
+        out = []
+        try:
+            for (lo, hi), f in zip(chunks, futures):
+                try:
+                    out.append(f.result())
+                except Exception as exc:
+                    raise ChunkError(f"map_chunks chunk [{lo}, {hi}) of "
+                                     f"{n} items failed: {exc}") from exc
+        except ChunkError:
+            for f in futures:
+                f.cancel()
+            for f in futures:  # drain running chunks before re-raising
+                if not f.cancelled():
+                    try:
+                        f.exception()
+                    except BaseException:
+                        pass
+            raise
+        return out
+
+    def _map_chunks_traced(self, fn, n: int, chunks, pool) -> list:
+        """Traced twin of the hot paths: per-chunk span events (worker
+        id, chunk size) plus one round event with the max/mean chunk
+        wall imbalance summary.  Results are identical to the untraced
+        paths — tracing only observes."""
+        import threading
+
+        tracer = self.tracer
+        self._round_seq += 1
+        rid = self._round_seq
+        phase = self._phase_stack[-1][0] if self._phase_stack else None
+        records: list[tuple] = []  # GIL-atomic appends from workers
+
+        def timed(lo: int, hi: int):
+            c0 = tracer.now()
+            res = fn(lo, hi)
+            records.append((lo, hi, c0, tracer.now(),
+                            threading.get_ident()))
+            return res
+
+        t0 = tracer.now()
+        if pool is None:
+            out = self._run_inline(timed, chunks, n)
+        else:
+            out = self._run_pooled(pool, timed, chunks, n)
+        t1 = tracer.now()
+
+        walls = []
+        for lo, hi, c0, c1, ident in sorted(records):
+            tracer.record(f"chunk[{lo}:{hi})", "chunk", c0, c1, tid=ident,
+                          round=rid, size=hi - lo, phase=phase)
+            walls.append(c1 - c0)
+        max_w = max(walls, default=0.0)
+        mean_w = sum(walls) / len(walls) if walls else 0.0
+        tracer.record(f"{phase or 'map_chunks'}#round{rid}", "round",
+                      t0, t1, round=rid, phase=phase, items=n,
+                      chunks=len(walls), max_chunk_s=max_w,
+                      mean_chunk_s=mean_w,
+                      imbalance=(max_w / mean_w) if mean_w > 0 else 1.0)
+        return out
 
     # -- accounting ----------------------------------------------------------
 
     @contextmanager
     def phase(self, name: str):
-        """Attribute cost *and wall-clock time* inside the block to ``name``."""
+        """Attribute cost *and wall-clock time* inside the block to ``name``.
+
+        ``wall_by_phase`` records *exclusive* (self) time: a nested
+        phase's wall is charged to the inner name only, so the dict's
+        values sum to at most the real elapsed wall.
+        """
+        tracer = self.tracer
+        tr0 = tracer.now() if tracer.enabled else 0.0
         t0 = time.perf_counter()
+        frame = [name, 0.0]
+        self._phase_stack.append(frame)
         with self.cost.phase(name):
             try:
                 yield self
             finally:
                 elapsed = time.perf_counter() - t0
+                self._phase_stack.pop()
+                self_time = max(0.0, elapsed - frame[1])
                 self.wall_by_phase[name] = \
-                    self.wall_by_phase.get(name, 0.0) + elapsed
+                    self.wall_by_phase.get(name, 0.0) + self_time
+                if self._phase_stack:
+                    self._phase_stack[-1][1] += elapsed
+                if tracer.enabled:
+                    tracer.record(name, "phase", tr0, tracer.now(),
+                                  self_s=self_time)
+
+    def trace_summary(self) -> dict | None:
+        """The tracer's digest, or ``None`` when tracing is off."""
+        return self.tracer.summary() if self.tracer.enabled else None
 
     def describe(self) -> dict:
-        """Flat record of the execution configuration (for result rows)."""
-        return {"backend": self.backend, "workers": self.workers}
+        """Flat record of the execution configuration (for result rows),
+        including the exclusive per-phase wall split recorded so far."""
+        return {"backend": self.backend, "workers": self.workers,
+                "wall_by_phase": dict(self.wall_by_phase)}
 
 
 def resolve_context(ctx: ExecutionContext | None,
@@ -174,15 +313,18 @@ def resolve_context(ctx: ExecutionContext | None,
                     workers: int | None = None,
                     cost: CostModel | None = None,
                     mem: MemoryModel | None = None,
-                    crew: bool = False) -> tuple[ExecutionContext, bool]:
+                    crew: bool = False,
+                    trace=None) -> tuple[ExecutionContext, bool]:
     """Return ``(context, owns)`` for an engine entry point.
 
     When the caller supplied a context it is used as-is (``owns`` False:
     the caller manages the pool); otherwise a fresh one is built from
-    ``backend``/``workers``/accounting arguments and ``owns`` is True —
-    the engine must ``close()`` it (or use it as a context manager).
+    ``backend``/``workers``/``trace``/accounting arguments and ``owns``
+    is True — the engine must ``close()`` it (or use it as a context
+    manager).
     """
     if ctx is not None:
         return ctx, False
     return ExecutionContext(backend=backend, workers=workers,
-                            cost=cost, mem=mem, crew=crew), True
+                            cost=cost, mem=mem, crew=crew,
+                            trace=trace), True

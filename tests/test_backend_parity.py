@@ -15,6 +15,7 @@ from repro.coloring.jp import jp_adg_fused, jp_by_name
 from repro.coloring.registry import BACKEND_AWARE, color
 from repro.coloring.verify import assert_valid_coloring
 from repro.graphs.generators import chung_lu, gnm_random, grid_2d
+from repro.obs import NULL_TRACER, Tracer
 from repro.ordering.adg import adg_m_ordering, adg_ordering
 
 WORKER_COUNTS = [1, 2, 4]
@@ -106,6 +107,45 @@ class TestRegistryParity:
         g = grid_2d(10, 10)
         res = color("Greedy-FF", g, seed=0, backend="threaded", workers=2)
         assert res.backend == "serial"
+
+
+class TestTracingParity:
+    """Tracing is observation only: on or off, results never change."""
+
+    @pytest.mark.parametrize("name", ["JP-ADG", "JP-ADG-O", "DEC-ADG",
+                                      "DEC-ADG-ITR"])
+    @pytest.mark.parametrize("backend,workers",
+                             [("serial", 1), ("threaded", 4)],
+                             ids=["serial", "threaded"])
+    def test_traced_bit_identical(self, parity_graph, name, backend,
+                                  workers):
+        plain = color(name, parity_graph, seed=0,
+                      backend=backend, workers=workers)
+        traced = color(name, parity_graph, seed=0,
+                       backend=backend, workers=workers, trace=Tracer())
+        np.testing.assert_array_equal(traced.colors, plain.colors)
+        assert traced.rounds == plain.rounds
+        assert traced.cost.snapshot() == plain.cost.snapshot()
+        assert traced.mem.total == plain.mem.total
+        if plain.reorder_cost is not None:
+            assert traced.reorder_cost.work == plain.reorder_cost.work
+            assert traced.reorder_cost.depth == plain.reorder_cost.depth
+
+    def test_untraced_run_records_nothing(self, monkeypatch, parity_graph):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        before = len(NULL_TRACER.events)
+        res = color("JP-ADG", parity_graph, seed=0)
+        assert res.trace_summary is None
+        assert len(NULL_TRACER.events) == before == 0
+        assert len(NULL_TRACER.metrics) == 0
+
+    def test_traced_run_populates_summary(self, parity_graph):
+        t = Tracer()
+        res = color("JP-ADG", parity_graph, seed=0,
+                    backend="threaded", workers=2, trace=t)
+        assert res.trace_summary["events"] == len(t.events) > 0
+        assert res.trace_summary["events_by_cat"].get("chunk", 0) > 0
+        assert t.metrics.get("jp.colored").total == parity_graph.n
 
 
 class TestThreadedAccounting:

@@ -8,6 +8,7 @@ import pytest
 from repro.cli import main
 from repro.graphs.generators import gnm_random
 from repro.graphs.io import save_npz, write_edge_list, write_metis
+from repro.obs import read_jsonl, validate_chrome, validate_jsonl
 
 
 @pytest.fixture()
@@ -99,3 +100,86 @@ class TestSuiteCommand:
         rows = json.loads(capsys.readouterr().out)
         assert len(rows) == 6  # 3 graphs x 2 algorithms
         assert all(r["colors"] <= r["quality_bound"] for r in rows)
+
+
+class TestPhaseWallsOutput:
+    def test_color_json_includes_phase_walls(self, capsys):
+        assert main(["color", "--gen", "gnm:100,300", "--algorithm",
+                     "JP-ADG", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert "phase_walls" in out
+        assert "jp:color" in out["phase_walls"]
+        assert all(v >= 0 for v in out["phase_walls"].values())
+
+
+class TestTraceOption:
+    def test_color_trace_jsonl(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        assert main(["color", "--gen", "gnm:100,300", "--algorithm",
+                     "JP-ADG", "--json", "--trace", path]) == 0
+        assert validate_jsonl(path) > 0
+        recs = read_jsonl(path)
+        assert recs[0]["type"] == "meta"
+        assert any(r["type"] == "metric" and r["name"] == "jp.colored"
+                   for r in recs)
+
+    def test_color_trace_chrome(self, tmp_path, capsys):
+        path = str(tmp_path / "run.json")
+        assert main(["color", "--gen", "grid:10,10", "--json",
+                     "--trace", path]) == 0
+        assert validate_chrome(path) > 0
+        doc = json.load(open(path))
+        assert any(e["ph"] == "C" for e in doc["traceEvents"])
+
+    def test_order_trace(self, tmp_path, capsys):
+        path = str(tmp_path / "order.jsonl")
+        assert main(["order", "--gen", "gnm:120,400", "--ordering", "ADG",
+                     "--json", "--trace", path]) == 0
+        assert validate_jsonl(path) > 0
+
+    def test_stats_trace(self, tmp_path, capsys):
+        path = str(tmp_path / "stats.jsonl")
+        assert main(["stats", "--gen", "grid:8,8", "--json",
+                     "--trace", path]) == 0
+        assert validate_jsonl(path) > 0
+
+    def test_suite_trace(self, tmp_path, capsys):
+        path = str(tmp_path / "suite.jsonl")
+        assert main(["suite", "--suite", "extra", "--algorithms", "JP-R",
+                     "--json", "--trace", path]) == 0
+        assert validate_jsonl(path) > 0
+
+    def test_trace_message_on_stderr(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        main(["color", "--gen", "grid:6,6", "--json", "--trace", path])
+        assert f"trace written to {path}" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_json_breakdowns(self, capsys):
+        assert main(["profile", "--gen", "gnm:150,500", "--algorithm",
+                     "JP-ADG", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert set(out) == {"summary", "phases", "rounds", "imbalance"}
+        assert out["summary"]["algorithm"] == "JP-ADG"
+        assert {r["phase"] for r in out["phases"]} >= {"jp:dag", "jp:color"}
+        assert any("jp.colored" in r for r in out["rounds"])
+
+    def test_threaded_imbalance_rows(self, capsys):
+        assert main(["profile", "--gen", "gnm:600,2500", "--backend",
+                     "threaded", "--workers", "4", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["imbalance"], "threaded profile must report chunk rows"
+        assert all(r["chunks"] > 1 for r in out["imbalance"])
+
+    def test_table_output(self, capsys):
+        assert main(["profile", "--gen", "grid:8,8"]) == 0
+        text = capsys.readouterr().out
+        assert "per-phase breakdown" in text
+        assert "per-round metrics" in text
+
+    def test_profile_with_trace_file(self, tmp_path, capsys):
+        path = str(tmp_path / "prof.json")
+        assert main(["profile", "--gen", "grid:8,8", "--json",
+                     "--trace", path]) == 0
+        assert validate_chrome(path) > 0

@@ -1,13 +1,17 @@
 """Unit tests for the ExecutionContext runtime."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.machine.costmodel import CostModel
 from repro.machine.memmodel import MemoryModel
+from repro.obs import NULL_TRACER, Tracer
 from repro.runtime import (
     BACKENDS,
     CHUNKS_PER_WORKER,
+    ChunkError,
     ExecutionContext,
     default_backend,
     resolve_context,
@@ -59,7 +63,16 @@ class TestConstruction:
 
     def test_describe(self):
         ctx = ExecutionContext(backend="threaded", workers=2)
-        assert ctx.describe() == {"backend": "threaded", "workers": 2}
+        assert ctx.describe() == {"backend": "threaded", "workers": 2,
+                                  "wall_by_phase": {}}
+
+    def test_describe_includes_phase_walls(self):
+        ctx = ExecutionContext()
+        with ctx.phase("p"):
+            pass
+        d = ctx.describe()
+        assert set(d["wall_by_phase"]) == {"p"}
+        assert d["wall_by_phase"]["p"] >= 0.0
 
 
 class TestMapChunks:
@@ -142,6 +155,141 @@ class TestPhase:
         with ctx.phase("p"):
             pass
         assert ctx.wall_by_phase["p"] >= first
+
+
+class TestNestedPhases:
+    def test_nested_phase_records_exclusive_time(self):
+        ctx = ExecutionContext()
+        with ctx.phase("outer"):
+            time.sleep(0.02)
+            with ctx.phase("inner"):
+                time.sleep(0.02)
+        outer, inner = ctx.wall_by_phase["outer"], ctx.wall_by_phase["inner"]
+        assert inner >= 0.02
+        # Outer's wall is self time only: the inner sleep is not
+        # double-counted, so outer stays well below outer+inner elapsed.
+        assert outer >= 0.02
+        assert outer < inner + 0.02
+
+    def test_phase_walls_sum_bounded_by_elapsed(self):
+        ctx = ExecutionContext()
+        t0 = time.perf_counter()
+        with ctx.phase("a"):
+            with ctx.phase("b"):
+                with ctx.phase("c"):
+                    time.sleep(0.01)
+        elapsed = time.perf_counter() - t0
+        assert sum(ctx.wall_by_phase.values()) <= elapsed + 1e-6
+
+    def test_reentrant_same_name_accumulates_self_time(self):
+        ctx = ExecutionContext()
+        with ctx.phase("p"):
+            with ctx.phase("p"):
+                time.sleep(0.01)
+        # Both frames contribute: the inner full wall plus the outer
+        # self time, accumulated under one key.
+        assert ctx.wall_by_phase["p"] >= 0.01
+
+
+class TestChunkErrors:
+    @staticmethod
+    def _boom(lo, hi):
+        if lo == 0:
+            raise ValueError("bad chunk")
+        return hi - lo
+
+    def test_serial_raises_chunk_error_with_range(self):
+        ctx = ExecutionContext(backend="serial")
+        with pytest.raises(ChunkError, match=r"\[0, 100\) of 100 items"):
+            ctx.map_chunks(self._boom, 100)
+
+    def test_serial_chains_original_exception(self):
+        ctx = ExecutionContext(backend="serial")
+        with pytest.raises(ChunkError) as ei:
+            ctx.map_chunks(self._boom, 10)
+        assert isinstance(ei.value.__cause__, ValueError)
+
+    def test_threaded_raises_chunk_error_with_range(self):
+        with ExecutionContext(backend="threaded", workers=4) as ctx:
+            with pytest.raises(ChunkError) as ei:
+                ctx.map_chunks(self._boom, 1000)
+            assert "of 1000 items failed" in str(ei.value)
+            assert isinstance(ei.value.__cause__, ValueError)
+            # The pool survives the failed round and stays usable.
+            assert ctx.map_chunks(lambda lo, hi: hi - lo, 100) is not None
+
+    def test_threaded_traced_still_raises(self):
+        with ExecutionContext(backend="threaded", workers=2,
+                              trace=True) as ctx:
+            with pytest.raises(ChunkError):
+                ctx.map_chunks(self._boom, 500)
+
+
+class TestTracedRounds:
+    def test_null_tracer_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        ctx = ExecutionContext()
+        assert ctx.tracer is NULL_TRACER
+        ctx.map_chunks(lambda lo, hi: None, 100)
+        with ctx.phase("p"):
+            pass
+        assert ctx.trace_summary() is None
+
+    def test_traced_round_and_chunk_events(self):
+        with ExecutionContext(backend="threaded", workers=2,
+                              trace=True) as ctx:
+            with ctx.phase("work"):
+                ctx.map_chunks(lambda lo, hi: hi - lo, 1000)
+            tracer = ctx.tracer
+        rounds = tracer.spans(cat="round")
+        chunks = tracer.spans(cat="chunk")
+        assert len(rounds) == 1
+        assert rounds[0].args["phase"] == "work"
+        assert rounds[0].args["items"] == 1000
+        assert rounds[0].args["chunks"] == len(chunks)
+        assert rounds[0].args["imbalance"] >= 1.0
+        assert sum(s.args["size"] for s in chunks) == 1000
+        # Chunk events carry small stable worker ids.
+        assert all(isinstance(s.tid, int) and s.tid >= 0 for s in chunks)
+        assert len({s.tid for s in chunks}) >= 1
+
+    def test_traced_results_identical(self):
+        fn = lambda lo, hi: list(range(lo, hi))
+        with ExecutionContext(backend="threaded", workers=4) as plain:
+            a = plain.map_chunks(fn, 777)
+        with ExecutionContext(backend="threaded", workers=4,
+                              trace=True) as traced:
+            b = traced.map_chunks(fn, 777)
+        assert a == b
+
+    def test_child_shares_tracer(self):
+        with ExecutionContext(trace=True) as ctx:
+            kid = ctx.child()
+            assert kid.tracer is ctx.tracer
+            with kid.phase("kid-phase"):
+                pass
+            assert ctx.tracer.spans("kid-phase")
+
+    def test_phase_span_records_self_time(self):
+        with ExecutionContext(trace=True) as ctx:
+            with ctx.phase("outer"):
+                with ctx.phase("inner"):
+                    time.sleep(0.01)
+            (outer,) = ctx.tracer.spans("outer")
+            (inner,) = ctx.tracer.spans("inner")
+        assert outer.args["self_s"] <= outer.dur
+        assert inner.args["self_s"] >= 0.01
+
+    def test_trace_summary_shape(self):
+        with ExecutionContext(backend="threaded", workers=2,
+                              trace=True) as ctx:
+            with ctx.phase("p"):
+                ctx.map_chunks(lambda lo, hi: None, 200)
+            summary = ctx.trace_summary()
+        assert summary["events"] >= 2
+        assert "round" in summary["events_by_cat"]
+        assert "p" in summary["phase_self_s"]
+        assert summary["imbalance"]["rounds"] >= 0
 
 
 class TestResolveContext:
