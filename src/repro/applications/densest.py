@@ -49,7 +49,7 @@ def densest_subgraph(g: CSRGraph, eps: float = 0.1,
         return DensestResult(vertices=np.empty(0, dtype=np.int64),
                              density=0.0, iterations=0,
                              approx_factor=2 * (1 + eps))
-    D = g.degrees
+    D = g.degrees.copy()
     active = np.ones(n, dtype=bool)
     remaining = n
     edges = g.m

@@ -30,7 +30,7 @@ def approximate_degeneracy(g: CSRGraph, eps: float = 0.1,
     if n == 0 or g.m == 0:
         return 0
     cost = cost if cost is not None else CostModel()
-    D = g.degrees
+    D = g.degrees.copy()
     active = np.ones(n, dtype=bool)
     remaining = n
     sum_deg = int(D.sum())

@@ -301,12 +301,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--eps", type=float, default=0.01)
         p.add_argument("--json", action="store_true",
                        help="machine-readable output")
-        p.add_argument("--backend", choices=["serial", "threaded"],
+        p.add_argument("--backend",
+                       choices=["serial", "threaded", "process"],
                        default=None,
                        help="execution backend (default: $REPRO_BACKEND "
                             "or serial); colors are backend-independent")
         p.add_argument("--workers", type=int, default=None,
-                       help="threaded-backend worker count "
+                       help="threaded/process-backend worker count "
                             "(default: $REPRO_WORKERS or CPU count)")
         p.add_argument("--trace", metavar="FILE",
                        help="export a run trace: .jsonl for the event "

@@ -24,17 +24,22 @@ from ..graphs.csr import CSRGraph
 from ..graphs.subgraph import induced_subgraph
 from ..machine.costmodel import log2_ceil
 from ..ordering.adg import adg_ordering
-from ..runtime import ExecutionContext, resolve_context
+from ..runtime import ExecutionContext, Kernel, resolve_context
 from .result import ColoringResult
 from .simcol import sim_col
 
 
-def partition_constraints(g: CSRGraph, verts: np.ndarray, levels: np.ndarray,
-                          level: int, colors: np.ndarray,
+def partition_constraints(indptr: np.ndarray, indices: np.ndarray,
+                          max_degree: int, verts: np.ndarray,
+                          levels: np.ndarray, level: int, colors: np.ndarray,
                           ctx: ExecutionContext,
                           phase: str) -> tuple[np.ndarray, np.ndarray,
                                                np.ndarray]:
     """Per-partition gather, chunked: deg_l counts and taken colors.
+
+    Takes the CSR arrays (and the level/color state) directly so callers
+    on the process backend can pass the run's shared-arena views —
+    uploaded once, reused every level.
 
     Returns ``(counts_ge, taken, owners)`` where ``counts_ge[i]`` is the
     number of neighbors of ``verts[i]`` in this or higher partitions,
@@ -42,15 +47,13 @@ def partition_constraints(g: CSRGraph, verts: np.ndarray, levels: np.ndarray,
     by strictly-higher-partition neighbors (color 0 entries included;
     the caller filters by its bitmap width).
     """
-    def level_chunk(lo: int, hi: int):
-        part = verts[lo:hi]
-        seg, nbrs = g.batch_neighbors(part)
-        cg = np.zeros(part.size, dtype=np.int64)
-        np.add.at(cg, seg[levels[nbrs] >= level], 1)
-        higher = levels[nbrs] > level
-        return cg, seg[higher] + lo, colors[nbrs[higher]], nbrs.size
-
-    results = ctx.map_chunks(level_chunk, verts.size)
+    kern = Kernel("dec.constraints", "dec",
+                  arrays={"verts": verts, "levels": levels,
+                          "indptr": indptr, "indices": indices,
+                          "colors": colors},
+                  scalars={"level": int(level)})
+    results = ctx.map_chunks(kern, verts.size,
+                             weights=indptr[verts + 1] - indptr[verts])
     counts_ge = np.concatenate([r[0] for r in results]) if results else \
         np.empty(0, dtype=np.int64)
     owners = np.concatenate([r[1] for r in results]) if results else \
@@ -58,7 +61,7 @@ def partition_constraints(g: CSRGraph, verts: np.ndarray, levels: np.ndarray,
     taken = np.concatenate([r[2] for r in results]) if results else \
         np.empty(0, dtype=np.int64)
     nbrs_total = sum(r[3] for r in results)
-    ctx.cost.round(nbrs_total + verts.size, log2_ceil(max(g.max_degree, 1)))
+    ctx.cost.round(nbrs_total + verts.size, log2_ceil(max(max_degree, 1)))
     ctx.mem.gather(nbrs_total, phase)
     return counts_ge, taken, owners
 
@@ -92,9 +95,15 @@ def dec_adg(g: CSRGraph, eps: float = 6.0, seed: int | None = 0,
 
         cost, mem = ctx.cost, ctx.mem
         n = g.n
-        colors = np.zeros(n, dtype=np.int64)
         levels = ordering.levels
         assert levels is not None
+        # Upload the graph and the cross-level state once; the level
+        # loop writes colors through the arena view (process backend)
+        # so workers track it with no per-level transfer.
+        indptr = ctx.share("dec", "indptr", g.indptr)
+        indices = ctx.share("dec", "indices", g.indices)
+        levels = ctx.share("dec", "levels", levels)
+        colors = ctx.share("dec", "colors", np.zeros(n, dtype=np.int64))
         partitions = ordering.level_partitions()
         rounds_total = 0
 
@@ -109,7 +118,8 @@ def dec_adg(g: CSRGraph, eps: float = 6.0, seed: int | None = 0,
                 # deg_l(v) and the B_v bitmaps: colors taken by
                 # higher-partition neighbors.
                 counts_ge, taken, owners = partition_constraints(
-                    g, verts, levels, level, colors, ctx, "dec:color")
+                    indptr, indices, g.max_degree, verts, levels, level,
+                    colors, ctx, "dec:color")
                 width = int(np.ceil(
                     (1.0 + mu) * max(1, int(counts_ge.max())))) + 2
                 forbidden = np.zeros((verts.size, width), dtype=bool)
@@ -132,6 +142,7 @@ def dec_adg(g: CSRGraph, eps: float = 6.0, seed: int | None = 0,
                                                max_rounds=max_rounds)
                 colors[verts] = local_colors
                 rounds_total += rounds
+        colors = ctx.localize(colors)
         wall = time.perf_counter() - t0
 
         name = "DEC-ADG" if variant == "avg" else "DEC-ADG-M"

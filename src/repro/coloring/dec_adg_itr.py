@@ -25,8 +25,7 @@ from ..graphs.subgraph import induced_subgraph
 from ..machine.costmodel import log2_ceil
 from ..ordering.adg import adg_ordering
 from ..ordering.base import random_tiebreak
-from ..primitives.kernels import segment_any
-from ..runtime import ExecutionContext, resolve_context
+from ..runtime import ExecutionContext, Kernel, resolve_context
 from .dec_adg import partition_constraints
 from .result import ColoringResult
 
@@ -47,6 +46,14 @@ def _itr_partition(part: CSRGraph, forbidden: np.ndarray,
     limit = max_rounds if max_rounds is not None else 4 * n + 64
     width = forbidden.shape[1]
 
+    # Per-partition shared state (process backend; passthrough otherwise).
+    indptr = ctx.share("itr", "indptr", part.indptr)
+    indices = ctx.share("itr", "indices", part.indices)
+    colors = ctx.share("itr", "colors", colors)
+    forbidden = ctx.share("itr", "forbidden", forbidden)
+    priority = ctx.share("itr", "priority", priority)
+    still = ctx.share("itr", "still", np.zeros(n, dtype=bool))
+
     while active.size:
         rounds += 1
         if rounds > limit:
@@ -54,33 +61,23 @@ def _itr_partition(part: CSRGraph, forbidden: np.ndarray,
 
         # Smallest color not forbidden for each active vertex: the first
         # False in its bitmap row (column 0 is the unused color 0).
-        def choose_chunk(lo: int, hi: int, active=active):
-            mine = active[lo:hi]
-            rows = forbidden[mine]  # fancy indexing: a copy
-            rows[:, 0] = True
-            return np.argmin(rows, axis=1)
-
-        chosen = ctx.map_chunks(choose_chunk, active.size)
+        kern = Kernel("itr.choose", "itr",
+                      arrays={"active": active, "forbidden": forbidden})
+        chosen = ctx.map_chunks(kern, active.size)
         colors[active] = np.concatenate(chosen) if chosen else \
             np.empty(0, dtype=np.int64)
         cost.round(active.size * width, log2_ceil(max(width, 1)))
         mem.stream(active.size * width, "dec-itr")
 
         # Conflict detection among same-round neighbors.
-        still = np.zeros(n, dtype=bool)
+        still[:] = False
         still[active] = True
-
-        def conflict_chunk(lo: int, hi: int, active=active, still=still):
-            mine = active[lo:hi]
-            seg, nbrs = part.batch_neighbors(mine)
-            same = (colors[nbrs] == colors[mine[seg]]) & still[nbrs]
-            loses = same & (priority[nbrs] > priority[mine[seg]])
-            lost = segment_any(loses, seg, mine.size)
-            md = int(np.bincount(seg, minlength=mine.size).max()) \
-                if nbrs.size else 0
-            return lost, seg, nbrs, md
-
-        results = ctx.map_chunks(conflict_chunk, active.size)
+        kern = Kernel("itr.conflict", "itr",
+                      arrays={"active": active, "colors": colors,
+                              "still": still, "priority": priority,
+                              "indptr": indptr, "indices": indices})
+        results = ctx.map_chunks(kern, active.size,
+                                 weights=indptr[active + 1] - indptr[active])
         lost = np.concatenate([r[0] for r in results]) if results else \
             np.empty(0, dtype=bool)
         nbrs_total = sum(r[2].size for r in results)
@@ -109,7 +106,7 @@ def _itr_partition(part: CSRGraph, forbidden: np.ndarray,
             offset += chunk_lost.size
         cost.scatter_decrement(committed_total)
         active = losers
-    return colors, rounds, conflicts
+    return ctx.localize(colors), rounds, conflicts
 
 
 def dec_adg_itr(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
@@ -131,9 +128,13 @@ def dec_adg_itr(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
 
         cost, mem = ctx.cost, ctx.mem
         n = g.n
-        colors = np.zeros(n, dtype=np.int64)
         levels = ordering.levels
         assert levels is not None
+        # Cross-level state, uploaded once (see dec_adg).
+        indptr = ctx.share("dec", "indptr", g.indptr)
+        indices = ctx.share("dec", "indices", g.indices)
+        levels = ctx.share("dec", "levels", levels)
+        colors = ctx.share("dec", "colors", np.zeros(n, dtype=np.int64))
         partitions = ordering.level_partitions()
         priority_global = random_tiebreak(n, seed)
         rounds_total = 0
@@ -151,7 +152,8 @@ def dec_adg_itr(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
                 # deg_l(v) bounds the bitmap width: mex never exceeds
                 # degl + 1.
                 counts_ge, taken, owners = partition_constraints(
-                    g, verts, levels, level, colors, ctx, "dec-itr")
+                    indptr, indices, g.max_degree, verts, levels, level,
+                    colors, ctx, "dec-itr")
                 width = int(counts_ge.max(initial=0)) + 3
 
                 forbidden = np.zeros((verts.size, width), dtype=bool)
@@ -169,6 +171,7 @@ def dec_adg_itr(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
                 colors[verts] = local_colors
                 rounds_total += rounds
                 conflicts_total += conflicts
+        colors = ctx.localize(colors)
         wall = time.perf_counter() - t0
 
         name = "DEC-ADG-ITR" if variant == "avg" else "DEC-ADG-ITR-M"

@@ -8,14 +8,20 @@ predecessor path has length k, so the number of waves is 1 plus the
 longest path of G_rho — the quantity the paper's depth analysis bounds
 (Lemma 7 for rho = ADG).
 
-One engine serves both runtime backends: each wave's GetColor is
-chunked through :meth:`ExecutionContext.map_chunks`.  Within a wave
+One engine serves every runtime backend: each wave's GetColor is the
+``jp.wave`` kernel (:mod:`repro.runtime.kernels`) chunked through
+:meth:`ExecutionContext.map_chunks` with the frontier's vertex
+*degrees* as chunk weights — a hub-heavy frontier splits into
+work-balanced chunks instead of count-balanced ones.  Within a wave
 every frontier vertex reads only *fixed* colors (its predecessors
-finished in earlier waves), so frontier chunks are independent and
-NumPy releases the GIL inside the kernels; the successor notifications
-are combined in chunk order after the chunks return (DecrementAndFetch
-on a shared array is not thread-safe).  Colors, waves, and the recorded
-work/depth/memory totals are bit-identical across backends.
+finished in earlier waves), so frontier chunks are independent; on the
+threaded backend NumPy releases the GIL inside the kernels, and on the
+process backend the CSR arrays, ranks, and colors live in the shared
+arena (coordinator writes after each wave are visible to workers with
+no re-transfer).  The successor notifications are combined in chunk
+order after the chunks return (DecrementAndFetch on a shared array is
+not thread-safe).  Colors, waves, and the recorded work/depth/memory
+totals are bit-identical across backends.
 
 Combined with the ordering registry this yields JP-FF, JP-R, JP-LF,
 JP-LLF, JP-SL, JP-SLL, JP-ASL, and the paper's JP-ADG / JP-ADG-M.
@@ -33,8 +39,7 @@ from ..machine.memmodel import MemoryModel
 from ..ordering.base import Ordering
 from ..ordering.registry import get_ordering
 from ..primitives.atomics import decrement_and_fetch
-from ..primitives.kernels import grouped_mex
-from ..runtime import ExecutionContext, resolve_context
+from ..runtime import ExecutionContext, Kernel, resolve_context
 from .result import ColoringResult
 
 
@@ -101,24 +106,23 @@ def jp_color(g: CSRGraph, ranks: np.ndarray,
         frontier = np.flatnonzero(count == 0).astype(np.int64)
         waves = 0
         tracer = ctx.tracer
+        # Long-lived state goes to the shared arena once (process backend);
+        # coordinator writes through the returned views are visible to
+        # workers with no per-wave re-transfer.  serial/threaded: no-ops.
+        indptr = ctx.share("jp", "indptr", g.indptr)
+        indices = ctx.share("jp", "indices", g.indices)
+        ranks = ctx.share("jp", "ranks", ranks)
+        colors = ctx.share("jp", "colors", colors)
         with ctx.phase("jp:color"):
             while frontier.size:
                 waves += 1
-
-                def wave_chunk(lo: int, hi: int, frontier=frontier):
-                    part = frontier[lo:hi]
-                    seg, nbrs = g.batch_neighbors(part)
-                    is_pred = ranks[nbrs] > ranks[part[seg]]
-                    # GetColor for the chunk's slice of the wave.
-                    chunk_colors = grouped_mex(seg[is_pred],
-                                               colors[nbrs[is_pred]],
-                                               part.size)
-                    wave_deg = int(np.bincount(
-                        seg, minlength=part.size).max()) if nbrs.size else 0
-                    return part, chunk_colors, nbrs[~is_pred], nbrs.size, \
-                        wave_deg
-
-                results = ctx.map_chunks(wave_chunk, frontier.size)
+                kern = Kernel("jp.wave", "jp",
+                              arrays={"indptr": indptr, "indices": indices,
+                                      "ranks": ranks, "colors": colors,
+                                      "frontier": frontier})
+                # Hub-heavy waves split by work, not count.
+                wave_w = indptr[frontier + 1] - indptr[frontier]
+                results = ctx.map_chunks(kern, frontier.size, weights=wave_w)
                 succs = []
                 nbrs_total = 0
                 wave_deg = 0
@@ -141,6 +145,7 @@ def jp_color(g: CSRGraph, ranks: np.ndarray,
                 succ = np.concatenate(succs) if succs else \
                     np.empty(0, dtype=np.int64)
                 frontier = decrement_and_fetch(count, succ, cost=cost)
+        colors = ctx.localize(colors)
     finally:
         if owns:
             ctx.close()

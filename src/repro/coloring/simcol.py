@@ -23,8 +23,7 @@ import numpy as np
 from ..graphs.csr import CSRGraph
 from ..machine.costmodel import CostModel, log2_ceil
 from ..machine.memmodel import MemoryModel
-from ..primitives.kernels import segment_any
-from ..runtime import ExecutionContext, resolve_context
+from ..runtime import ExecutionContext, Kernel, resolve_context
 
 
 def sim_col(
@@ -77,6 +76,16 @@ def sim_col(
         tracer = ctx.tracer
         limit = max_rounds if max_rounds is not None else 64 * (n.bit_length() + 2)
 
+        # Per-call state for the shared arena (process backend); the
+        # caller's ``forbidden`` is copied back at the end so the
+        # documented in-place contract holds on every backend.
+        caller_forbidden = forbidden
+        indptr = ctx.share("simcol", "indptr", part.indptr)
+        indices = ctx.share("simcol", "indices", part.indices)
+        colors = ctx.share("simcol", "colors", colors)
+        forbidden = ctx.share("simcol", "forbidden", forbidden)
+        still_active = ctx.share("simcol", "still", np.zeros(n, dtype=bool))
+
         while active.size:
             rounds += 1
             if rounds > limit:
@@ -90,21 +99,15 @@ def sim_col(
             mem.stream(active.size, "simcol")
 
             # Part 2: reject on equality with an active neighbor or on B_v.
-            still_active = np.zeros(n, dtype=bool)
+            still_active[:] = False
             still_active[active] = True
-
-            def trial_chunk(lo: int, hi: int, active=active,
-                            still_active=still_active):
-                mine = active[lo:hi]
-                seg, nbrs = part.batch_neighbors(mine)
-                same = (colors[nbrs] == colors[mine[seg]]) & still_active[nbrs]
-                clash = segment_any(same, seg, mine.size)
-                clash |= forbidden[mine, colors[mine]]
-                md = int(np.bincount(seg, minlength=mine.size).max()) \
-                    if nbrs.size else 0
-                return clash, seg, nbrs, md
-
-            results = ctx.map_chunks(trial_chunk, active.size)
+            kern = Kernel("simcol.trial", "simcol",
+                          arrays={"active": active, "colors": colors,
+                                  "still": still_active, "indptr": indptr,
+                                  "indices": indices, "forbidden": forbidden})
+            results = ctx.map_chunks(kern, active.size,
+                                     weights=indptr[active + 1]
+                                     - indptr[active])
             clash = np.concatenate([r[0] for r in results]) if results \
                 else np.empty(0, dtype=bool)
             nbrs_total = sum(r[2].size for r in results)
@@ -137,7 +140,9 @@ def sim_col(
             mem.gather(fixed_total, "simcol")
 
             active = active[clash]
-        return colors, rounds
+        if forbidden is not caller_forbidden:
+            caller_forbidden[...] = forbidden
+        return ctx.localize(colors), rounds
     finally:
         if owns:
             ctx.close()

@@ -9,6 +9,7 @@ and ``indices`` (2m int64 neighbor ids, sorted within each row).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -45,24 +46,31 @@ class CSRGraph:
         """Number of undirected edges."""
         return self.indices.size // 2
 
-    @property
+    @cached_property
     def degrees(self) -> np.ndarray:
-        """Degree of every vertex (fresh array, callers may mutate)."""
-        return np.diff(self.indptr).astype(np.int64)
+        """Degree of every vertex.
 
-    @property
+        Cached per instance and marked read-only — peeling algorithms
+        that decrement degrees must take ``.copy()``.  (The graph is
+        immutable, so the cache can never go stale.)
+        """
+        deg = np.diff(self.indptr).astype(np.int64)
+        deg.flags.writeable = False
+        return deg
+
+    @cached_property
     def max_degree(self) -> int:
         """Delta: the maximum degree (0 for an empty graph)."""
         if self.n == 0:
             return 0
-        return int(np.max(np.diff(self.indptr)))
+        return int(self.degrees.max())
 
-    @property
+    @cached_property
     def min_degree(self) -> int:
         """delta: the minimum degree (0 for an empty graph)."""
         if self.n == 0:
             return 0
-        return int(np.min(np.diff(self.indptr)))
+        return int(self.degrees.min())
 
     @property
     def avg_degree(self) -> float:
@@ -126,9 +134,19 @@ class CSRGraph:
         src, dst = self.edge_array()
         if np.any(src == dst):
             raise ValueError("self-loop present")
-        for v in range(self.n):
-            row = self.neighbors(v)
-            if row.size > 1 and np.any(np.diff(row) <= 0):
+        if self.indices.size > 1:
+            # Strictly-increasing rows, vectorized: adjacent-pair diffs
+            # must be positive everywhere except across row boundaries
+            # (pairs straddling indptr cuts), which are masked out.
+            d = np.diff(self.indices)
+            within_row = np.ones(d.size, dtype=bool)
+            cuts = self.indptr[1:-1]
+            cuts = cuts[(cuts > 0) & (cuts <= d.size)]
+            within_row[cuts - 1] = False
+            bad = np.flatnonzero(within_row & (d <= 0))
+            if bad.size:
+                v = int(np.searchsorted(self.indptr, bad[0],
+                                        side="right")) - 1
                 raise ValueError(f"row {v} not strictly increasing")
         # Symmetry: the multiset of arcs equals its transpose.
         fwd = src * self.n + dst

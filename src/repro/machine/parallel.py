@@ -39,6 +39,45 @@ def split_chunks(n: int, n_chunks: int) -> list[tuple[int, int]]:
             for i in range(n_chunks) if bounds[i] < bounds[i + 1]]
 
 
+def split_chunks_weighted(n: int, n_chunks: int,
+                          weights: np.ndarray) -> list[tuple[int, int]]:
+    """Split range(n) into <= n_chunks contiguous spans of ~equal weight.
+
+    ``weights[i] >= 0`` is the work attached to item i (a frontier
+    vertex's degree, a batch vertex's remaining neighborhood, ...).
+    Boundaries come from a prefix-sum split of the total weight: chunk
+    boundaries are placed where the cumulative weight crosses each
+    multiple of ``total / n_chunks``, so a hub-heavy prefix gets fewer
+    items per chunk and the per-chunk *work* — not the item count — is
+    balanced.  Spans are contiguous, cover range(n) exactly, and the
+    split is deterministic; degenerate weights (all zero) fall back to
+    the uniform :func:`split_chunks`.  A single item heavier than the
+    target simply occupies its own chunk (fewer chunks come back).
+    """
+    if n <= 0:
+        return []
+    weights = np.asarray(weights)
+    if weights.shape != (n,):
+        raise ValueError(f"weights must have shape ({n},), "
+                         f"got {weights.shape}")
+    if weights.size and np.min(weights) < 0:
+        raise ValueError("weights must be non-negative")
+    n_chunks = max(1, min(n_chunks, n))
+    if n_chunks == 1:
+        return [(0, n)]
+    cum = np.cumsum(weights, dtype=np.float64)
+    total = float(cum[-1])
+    if total <= 0:
+        return split_chunks(n, n_chunks)
+    targets = total * np.arange(1, n_chunks, dtype=np.float64) / n_chunks
+    # First item whose cumulative weight reaches the target closes the
+    # chunk; duplicates (a giant item crossing several targets) merge.
+    cuts = np.searchsorted(cum, targets, side="left") + 1
+    bounds = np.unique(np.concatenate(([0], cuts, [n])))
+    return [(int(bounds[i]), int(bounds[i + 1]))
+            for i in range(bounds.size - 1)]
+
+
 class ParallelContext:
     """Holds a thread pool and worker count for one algorithm run."""
 

@@ -28,7 +28,7 @@ import numpy as np
 from ..graphs.csr import CSRGraph
 from ..machine.costmodel import log2_ceil
 from ..primitives.sorting import argsort_by
-from ..runtime import ExecutionContext
+from ..runtime import ExecutionContext, Kernel
 from .base import Ordering, random_tiebreak, total_order
 
 
@@ -55,10 +55,11 @@ def adg_ordering(
     and whose ``ranks`` impose the total order <rho_ADG, rho_R> — or the
     explicit sorted-batch order when ``sort_batches`` is set.
 
-    Batch selection and the push UPDATE scatter are chunked through the
-    execution context (``ctx``, or one built from ``backend``/
-    ``workers``); both backends produce bit-identical orderings and
-    accounting.  The ordering's cost/mem books are always its own (the
+    Batch selection and the UPDATE scatters run as ``adg.*`` kernels
+    chunked through the execution context (``ctx``, or one built from
+    ``backend``/``workers``), weighted by remaining batch degrees; every
+    backend (serial / threaded / process) produces bit-identical
+    orderings and accounting.  The ordering's cost/mem books are always its own (the
     paper splits run-times into reordering and coloring), so a caller's
     context contributes only its backend, workers, and pool.
     """
@@ -86,10 +87,18 @@ def adg_ordering(
     tracer = run.tracer
     cost, mem = run.cost, run.mem
     n = g.n
-    D = g.degrees
-    active = np.ones(n, dtype=bool)
+    # Long-lived state the coordinator mutates between iterations lives
+    # in the shared arena under the process backend (zero re-transfer);
+    # serial/threaded: share() is a passthrough.  D starts as a copy —
+    # CSRGraph.degrees is a cached, read-only array.
+    indptr = run.share("adg", "indptr", g.indptr)
+    indices = run.share("adg", "indices", g.indices)
+    D = run.share("adg", "D", g.degrees.copy())
+    active = run.share("adg", "active", np.ones(n, dtype=bool))
+    r_mask = run.share("adg", "r_mask", np.zeros(n, dtype=bool))
     levels = np.zeros(n, dtype=np.int64)
-    explicit = np.zeros(n, dtype=np.int64) if sort_batches else None
+    explicit = run.share("adg", "explicit", np.zeros(n, dtype=np.int64)) \
+        if sort_batches else None
     pred_counts = np.zeros(n, dtype=np.int64) if compute_ranks else None
     counter = 0
     remaining = n
@@ -116,15 +125,13 @@ def adg_ordering(
                         mem.stream(remaining, phase_name)
                     avg = sum_deg / remaining
                     threshold = (1.0 + eps) * avg
-
-                    def select_chunk(lo: int, hi: int):
-                        return np.flatnonzero(
-                            active[lo:hi] & (D[lo:hi] <= threshold)) + lo
-
-                    batch = np.concatenate(run.map_chunks(select_chunk, n))
+                    kern = Kernel("adg.select", "adg",
+                                  arrays={"active": active, "D": D},
+                                  scalars={"threshold": float(threshold)})
+                    batch = np.concatenate(run.map_chunks(kern, n))
                     cost.parallel_for(remaining)
                     mem.stream(n, phase_name)
-                    r_mask = np.zeros(n, dtype=bool)
+                    r_mask[:] = False
                     r_mask[batch] = True
                 else:
                     # ADG-M: the floor(|U|/2)+parity smallest-degree vertices.
@@ -132,7 +139,7 @@ def adg_ordering(
                     order = argsort_by(D[live], sort_method, cost=cost)
                     k = (remaining + 1) // 2
                     batch = np.sort(live[order[:k]])
-                    r_mask = np.zeros(n, dtype=bool)
+                    r_mask[:] = False
                     r_mask[batch] = True
                     mem.stream(remaining, phase_name)
 
@@ -163,23 +170,16 @@ def adg_ordering(
 
                 # -- degree update ----------------------------------------------
                 if update == "push":
-                    def push_chunk(lo: int, hi: int, batch=batch):
-                        part = batch[lo:hi]
-                        seg, nbrs = g.batch_neighbors(part)
-                        live_nbr = active[nbrs]
-                        preds = None
-                        if compute_ranks:
-                            # UPDATEandPRIORITIZE (Alg. 6): a neighbor removed
-                            # *after* v — still active, or later in the sorted
-                            # batch — is a DAG predecessor of v.
-                            owner = part[seg]
-                            is_pred = live_nbr | (
-                                r_mask[nbrs] &
-                                (explicit[nbrs] > explicit[owner]))
-                            preds = owner[is_pred]
-                        return nbrs[live_nbr], nbrs.size, preds
-
-                    results = run.map_chunks(push_chunk, batch.size)
+                    arrays = {"batch": batch, "indptr": indptr,
+                              "indices": indices, "active": active}
+                    if compute_ranks:
+                        arrays["r_mask"] = r_mask
+                        arrays["explicit"] = explicit
+                    kern = Kernel("adg.push", "adg", arrays=arrays,
+                                  scalars={"compute_ranks": compute_ranks})
+                    results = run.map_chunks(
+                        kern, batch.size,
+                        weights=indptr[batch + 1] - indptr[batch])
                     live_targets = np.concatenate(
                         [r[0] for r in results]) if results else \
                         np.empty(0, dtype=np.int64)
@@ -197,16 +197,13 @@ def adg_ordering(
                         cost.round(nbrs_total, 1)
                 else:
                     live = np.flatnonzero(active)
-
-                    def pull_chunk(lo: int, hi: int, live=live):
-                        part = live[lo:hi]
-                        seg, nbrs = g.batch_neighbors(part)
-                        in_r = r_mask[nbrs].astype(np.int64)
-                        dec = np.zeros(part.size, dtype=np.int64)
-                        np.add.at(dec, seg, in_r)
-                        return dec, nbrs.size
-
-                    results = run.map_chunks(pull_chunk, live.size)
+                    kern = Kernel("adg.pull", "adg",
+                                  arrays={"live": live, "indptr": indptr,
+                                          "indices": indices,
+                                          "r_mask": r_mask})
+                    results = run.map_chunks(
+                        kern, live.size,
+                        weights=indptr[live + 1] - indptr[live])
                     dec = np.concatenate([r[0] for r in results]) if results \
                         else np.empty(0, dtype=np.int64)
                     nbrs_total = sum(r[1] for r in results)
@@ -218,6 +215,8 @@ def adg_ordering(
                     cut = int(dec.sum())
 
                 sum_deg = sum_deg - removed_deg_sum - cut
+        if sort_batches:
+            explicit = run.localize(explicit)
     finally:
         if owns:
             run.close()

@@ -22,7 +22,7 @@ def asl_ordering(g: CSRGraph, seed: int | None = 0, slack: int = 0) -> Ordering:
     cost = CostModel()
     mem = MemoryModel()
     n = g.n
-    deg = g.degrees
+    deg = g.degrees.copy()
     active = np.ones(n, dtype=bool)
     level = np.zeros(n, dtype=np.int64)
     round_no = 0

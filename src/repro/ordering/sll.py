@@ -23,7 +23,7 @@ def sll_ordering(g: CSRGraph, seed: int | None = 0) -> Ordering:
     cost = CostModel()
     mem = MemoryModel()
     n = g.n
-    deg = g.degrees
+    deg = g.degrees.copy()
     active = np.ones(n, dtype=bool)
     level = np.zeros(n, dtype=np.int64)
     round_no = 0

@@ -100,8 +100,11 @@ def grouped_mex(group: np.ndarray, values: np.ndarray, n_groups: int) -> np.ndar
     values = values[pos]
     if group.size == 0:
         return out
-    # Values larger than the group size cannot lower the mex; cap them so
-    # the sort key stays small (keeps counting-sort linear).
+    # Values larger than the group size cannot lower the mex (a group
+    # with c values has mex <= c + 1); cap them so the sort key stays
+    # small (keeps counting-sort linear even for huge sparse colors).
+    gcount = np.bincount(group, minlength=n_groups)
+    values = np.minimum(values, gcount[group] + 1)
     order = np.lexsort((values, group))
     g = group[order]
     v = values[order]

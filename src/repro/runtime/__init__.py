@@ -1,6 +1,7 @@
-"""Unified execution runtime: backend selection, chunked execution,
-end-to-end accounting and tracing behind one :class:`ExecutionContext`
-object."""
+"""Unified execution runtime: backend selection (serial / threaded /
+process), chunked — optionally work-balanced — execution, shared-memory
+state, and end-to-end accounting and tracing behind one
+:class:`ExecutionContext` object."""
 
 from .context import (
     BACKENDS,
@@ -8,10 +9,14 @@ from .context import (
     ChunkError,
     ExecutionContext,
     default_backend,
+    default_weighted_chunks,
     resolve_context,
 )
+from .kernels import KERNELS, Kernel
+from .shm import SharedArena
 
 __all__ = [
     "BACKENDS", "CHUNKS_PER_WORKER", "ChunkError", "ExecutionContext",
-    "default_backend", "resolve_context",
+    "KERNELS", "Kernel", "SharedArena", "default_backend",
+    "default_weighted_chunks", "resolve_context",
 ]

@@ -4,10 +4,15 @@ Every algorithm in this library is a sequence of *parallel rounds* over
 NumPy arrays.  An :class:`ExecutionContext` bundles everything one run
 needs to execute those rounds and account for them:
 
-- a ``backend`` switch (``'serial'`` or ``'threaded'``) with a worker
-  count (argument, else ``$REPRO_WORKERS``, else the CPU count);
-- the chunked thread-pool machinery (:mod:`repro.machine.parallel`)
-  behind one :meth:`map_chunks` seam;
+- a ``backend`` switch (``'serial'``, ``'threaded'`` or ``'process'``)
+  with a worker count (argument, else ``$REPRO_WORKERS``, else the CPU
+  count);
+- the chunked execution machinery (:mod:`repro.machine.parallel`, the
+  shared-memory arena and worker pool of :mod:`repro.runtime.shm`)
+  behind one :meth:`map_chunks` seam, with optional *work-balanced*
+  chunking: engines pass per-item weights (frontier degrees, batch
+  degrees) and chunk boundaries come from a prefix-sum split of total
+  weight instead of an even split by count;
 - the :class:`~repro.machine.costmodel.CostModel` and
   :class:`~repro.machine.memmodel.MemoryModel` accounting books;
 - per-phase wall-clock timers (:meth:`phase`), recording *exclusive*
@@ -20,17 +25,32 @@ needs to execute those rounds and account for them:
   pre-tracing instructions.
 
 The contract every engine written against this context obeys: the
-*threaded* backend chunks each round over independent spans and combines
+parallel backends chunk each round over independent spans and combine
 the partial results in deterministic chunk order, so colors, waves, and
 the recorded work/depth/memory totals are **bit-identical** to the
-serial backend.  On the serial backend :meth:`map_chunks` degrades to a
-single chunk — zero chunking overhead, exactly the monolithic
-vectorized round.  Tracing is observation only: enabling it never
-changes results or accounting.
+serial backend — for any worker count, and with weighted chunking on
+or off (weights move chunk *boundaries*, never the combine order).  On
+the serial backend :meth:`map_chunks` degrades to a single chunk —
+zero chunking overhead, exactly the monolithic vectorized round.
+Tracing is observation only: enabling it never changes results or
+accounting.
 
-Future backends (process pools, numba kernels) plug in here: implement
-the :meth:`map_chunks` seam for the new backend and every engine gains
-it without another per-algorithm fork.
+Backends:
+
+- ``'serial'`` — one inline chunk per round.
+- ``'threaded'`` — a shared :class:`ThreadPoolExecutor`; NumPy kernels
+  release the GIL, so chunks overlap inside the C kernels.
+- ``'process'`` — a persistent forkserver worker pool plus a
+  :class:`~repro.runtime.shm.SharedArena`: the graph and per-run state
+  arrays live in shared memory with zero-copy views on both sides, and
+  engines describe each round as a picklable
+  :class:`~repro.runtime.kernels.Kernel` descriptor (module-level
+  kernel + array names + scalars) instead of a closure.  True
+  parallelism — no GIL — at the cost of pickling each chunk's result.
+
+Serial and threaded accept plain ``fn(lo, hi)`` closures; the process
+backend requires the descriptor form (every engine in this library
+passes descriptors, which the other backends simply call inline).
 """
 
 from __future__ import annotations
@@ -43,12 +63,18 @@ from typing import Callable, TypeVar
 
 from ..machine.costmodel import CostModel
 from ..machine.memmodel import MemoryModel
-from ..machine.parallel import default_workers, split_chunks
+from ..machine.parallel import (
+    default_workers,
+    split_chunks,
+    split_chunks_weighted,
+)
 from ..obs import resolve_tracer
+from .kernels import Kernel
+from .shm import SharedArena, create_pool, run_kernel_task
 
 T = TypeVar("T")
 
-BACKENDS = ("serial", "threaded")
+BACKENDS = ("serial", "threaded", "process")
 
 #: Chunks per worker: oversubscription smooths load imbalance between
 #: spans (frontier vertices have wildly varying degrees).
@@ -76,18 +102,43 @@ def default_backend() -> str:
     return env
 
 
+def default_weighted_chunks() -> bool:
+    """Weighted chunking: $REPRO_WEIGHTED_CHUNKS if set, else on.
+
+    Weighted chunking never changes results (only chunk boundaries),
+    so it defaults on; the switch exists for A/B benchmarking and for
+    bisecting imbalance regressions.
+    """
+    env = os.environ.get("REPRO_WEIGHTED_CHUNKS", "").strip().lower()
+    if not env:
+        return True
+    if env in ("0", "off", "false", "no"):
+        return False
+    if env in ("1", "on", "true", "yes"):
+        return True
+    raise ValueError(f"$REPRO_WEIGHTED_CHUNKS must be a boolean flag "
+                     f"(1/0/on/off), got {env!r}")
+
+
 class ExecutionContext:
     """One object carrying backend, pool, accounting, timers, and tracer.
 
     Parameters
     ----------
     backend:
-        ``'serial'`` or ``'threaded'``; ``None`` resolves via
-        :func:`default_backend` (``$REPRO_BACKEND``, else serial).
+        ``'serial'``, ``'threaded'`` or ``'process'``; ``None``
+        resolves via :func:`default_backend` (``$REPRO_BACKEND``, else
+        serial).
     workers:
-        Thread count for the threaded backend; ``None`` resolves via
+        Worker count for the parallel backends; ``None`` resolves via
         ``$REPRO_WORKERS``, else the CPU count.  Forced to 1 on the
         serial backend.
+    weighted_chunks:
+        Honor per-round ``weights`` in :meth:`map_chunks` (work-
+        proportional chunk boundaries); ``None`` resolves via
+        ``$REPRO_WEIGHTED_CHUNKS``, else on.  Results are identical
+        either way — only the chunk boundaries (and the load balance)
+        move.
     cost, mem:
         Accounting books to record into; fresh models when ``None``.
     crew:
@@ -110,6 +161,7 @@ class ExecutionContext:
     def __init__(self, backend: str | None = None, workers: int | None = None,
                  cost: CostModel | None = None, mem: MemoryModel | None = None,
                  crew: bool = False, trace=None,
+                 weighted_chunks: bool | None = None,
                  _pool_host: "ExecutionContext | None" = None):
         self.backend = backend if backend is not None else default_backend()
         if self.backend not in BACKENDS:
@@ -121,6 +173,8 @@ class ExecutionContext:
             self.workers = workers if workers is not None else default_workers()
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        self.weighted_chunks = weighted_chunks if weighted_chunks is not None \
+            else default_weighted_chunks()
         self.cost = cost if cost is not None else CostModel(crew=crew)
         self.mem = mem if mem is not None else MemoryModel()
         self.wall_by_phase: dict[str, float] = {}
@@ -130,6 +184,8 @@ class ExecutionContext:
             self.tracer.meta.setdefault("workers", self.workers)
         self._pool_host = _pool_host if _pool_host is not None else self
         self._pool: ThreadPoolExecutor | None = None
+        self._procpool = None
+        self._arena: SharedArena | None = None
         # Open-phase stack: [name, child_wall_seconds] frames, for
         # exclusive timing and for labeling traced rounds.
         self._phase_stack: list[list] = []
@@ -144,21 +200,28 @@ class ExecutionContext:
         self.close()
 
     def close(self) -> None:
-        """Shut down the pool and flush a path-bound tracer (only if
-        this context is the pool host)."""
+        """Shut down pools and the shared arena, and flush a path-bound
+        tracer (only if this context is the pool host)."""
         if self._pool_host is self:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
+            if self._procpool is not None:
+                self._procpool.shutdown(wait=True)
+                self._procpool = None
+            if self._arena is not None:
+                self._arena.close()
+                self._arena = None
             self.tracer.flush()
 
     def child(self, cost: CostModel | None = None,
               mem: MemoryModel | None = None,
               crew: bool = False) -> "ExecutionContext":
-        """Same backend/workers/pool/tracer, fresh books and timers."""
+        """Same backend/workers/pool/arena/tracer, fresh books and timers."""
         return ExecutionContext(backend=self.backend, workers=self.workers,
                                 cost=cost, mem=mem, crew=crew,
                                 trace=self.tracer,
+                                weighted_chunks=self.weighted_chunks,
                                 _pool_host=self._pool_host)
 
     def _acquire_pool(self) -> ThreadPoolExecutor | None:
@@ -168,15 +231,70 @@ class ExecutionContext:
             host._pool = ThreadPoolExecutor(max_workers=self.workers)
         return host._pool
 
+    def _acquire_procpool(self):
+        host = self._pool_host
+        if host._procpool is None:
+            host._procpool = create_pool(self.workers)
+        return host._procpool
+
+    def _acquire_arena(self) -> SharedArena:
+        host = self._pool_host
+        if host._arena is None:
+            host._arena = SharedArena()
+        return host._arena
+
+    # -- shared state (process backend) --------------------------------------
+
+    def share(self, ns: str, name: str, arr):
+        """Adopt a per-run state array into the shared arena.
+
+        On the process backend the array is copied once into shared
+        memory and the *shared view* comes back: the engine keeps
+        reading and writing through it, workers see every coordinator
+        write with no further transfer, and :meth:`map_chunks` ships
+        only the array's name.  On every other backend (or with one
+        worker) the array is returned unchanged — the call is free.
+
+        Arrays an engine rebuilds every round (frontiers, batches) need
+        no ``share``: :meth:`map_chunks` uploads them per round.
+        """
+        if self.backend != "process" or self.workers <= 1:
+            return arr
+        return self._acquire_arena().put(f"{ns}:{name}", arr)
+
+    def localize(self, arr):
+        """A private copy when ``arr`` is an arena view, else ``arr``.
+
+        Call on any shared array that outlives the run (result colors):
+        the arena's segments are unlinked by :meth:`close`.
+        """
+        host = self._pool_host
+        if host._arena is not None and host._arena.owns(arr):
+            return arr.copy()
+        return arr
+
     # -- execution -----------------------------------------------------------
 
-    def map_chunks(self, fn: Callable[[int, int], T], n: int) -> list[T]:
+    def map_chunks(self, fn: Callable[[int, int], T], n: int,
+                   weights=None) -> list[T]:
         """Run ``fn(lo, hi)`` over a chunking of range(n), in chunk order.
 
         Serial backend (or 1 worker): one chunk, executed inline — the
-        call is exactly ``[fn(0, n)]``.  Threaded backend: balanced
+        call is exactly ``[fn(0, n)]``.  Parallel backends: balanced
         chunks on the shared pool; results are returned in chunk order,
         so order-dependent combines are deterministic.
+
+        ``weights`` (per-item non-negative work estimates, e.g. the
+        frontier's vertex degrees) switches the chunk boundaries to a
+        prefix-sum split of total weight — work-balanced chunks for
+        skewed inputs.  Ignored on the serial path, when
+        ``weighted_chunks`` is off, or when all weights are zero;
+        results are bit-identical in every case because only the
+        boundaries move, never the combine order.
+
+        On the process backend ``fn`` must be a
+        :class:`~repro.runtime.kernels.Kernel` descriptor (serial and
+        threaded accept descriptors too and just call them).
 
         A chunk that raises aborts the round as a :class:`ChunkError`
         naming the chunk's range; pending chunks are cancelled and
@@ -186,8 +304,25 @@ class ExecutionContext:
             chunks = split_chunks(n, 1)
             pool = None
         else:
-            chunks = split_chunks(n, self.workers * CHUNKS_PER_WORKER)
-            pool = self._acquire_pool() if len(chunks) > 1 else None
+            target = self.workers * CHUNKS_PER_WORKER
+            if weights is not None and self.weighted_chunks:
+                chunks = split_chunks_weighted(n, target, weights)
+            else:
+                chunks = split_chunks(n, target)
+            pool = None
+            if len(chunks) > 1:
+                pool = self._acquire_procpool() \
+                    if self.backend == "process" else self._acquire_pool()
+        if self.backend == "process" and pool is not None:
+            if not isinstance(fn, Kernel):
+                raise TypeError(
+                    "the process backend runs picklable kernel "
+                    "descriptors, not closures: pass a "
+                    "repro.runtime.kernels.Kernel to map_chunks "
+                    "(serial/threaded accept any callable)")
+            if self.tracer.enabled:
+                return self._run_procpool_traced(pool, fn, chunks, n)
+            return self._run_procpool(pool, fn, chunks, n, timed=False)
         if self.tracer.enabled:
             return self._map_chunks_traced(fn, n, chunks, pool)
         if pool is None:
@@ -204,8 +339,8 @@ class ExecutionContext:
                                  f"{n} items failed: {exc}") from exc
         return out
 
-    def _run_pooled(self, pool, fn, chunks, n: int) -> list:
-        futures = [pool.submit(fn, lo, hi) for lo, hi in chunks]
+    def _collect(self, futures, chunks, n: int) -> list:
+        """Gather futures in chunk order with ChunkError semantics."""
         out = []
         try:
             for (lo, hi), f in zip(chunks, futures):
@@ -225,6 +360,27 @@ class ExecutionContext:
                         pass
             raise
         return out
+
+    def _run_pooled(self, pool, fn, chunks, n: int) -> list:
+        futures = [pool.submit(fn, lo, hi) for lo, hi in chunks]
+        return self._collect(futures, chunks, n)
+
+    def _run_procpool(self, pool, kern: Kernel, chunks, n: int,
+                      timed: bool) -> list:
+        """Ship a kernel descriptor's chunks to the worker pool.
+
+        Arrays are adopted into the shared arena first: zero-copy for
+        arrays the engine holds as arena views (see :meth:`share`), one
+        memcpy for per-round arrays.  Workers receive only the kernel
+        name, the array specs, the scalars, and the chunk bounds.
+        """
+        arena = self._acquire_arena()
+        specs = {key: arena.adopt(f"{kern.ns}:{key}", arr)
+                 for key, arr in kern.arrays.items()}
+        futures = [pool.submit(run_kernel_task, kern.name, specs,
+                               kern.scalars, lo, hi, timed)
+                   for lo, hi in chunks]
+        return self._collect(futures, chunks, n)
 
     def _map_chunks_traced(self, fn, n: int, chunks, pool) -> list:
         """Traced twin of the hot paths: per-chunk span events (worker
@@ -258,14 +414,46 @@ class ExecutionContext:
             tracer.record(f"chunk[{lo}:{hi})", "chunk", c0, c1, tid=ident,
                           round=rid, size=hi - lo, phase=phase)
             walls.append(c1 - c0)
+        self._record_round(rid, phase, t0, t1, n, walls)
+        return out
+
+    def _run_procpool_traced(self, pool, kern: Kernel, chunks,
+                             n: int) -> list:
+        """Traced twin of the process path: chunk walls are measured
+        *inside* the workers (real pids as worker ids) and mapped onto
+        the tracer's timeline; results are identical to the untraced
+        path."""
+        tracer = self.tracer
+        self._round_seq += 1
+        rid = self._round_seq
+        phase = self._phase_stack[-1][0] if self._phase_stack else None
+
+        t0 = tracer.now()
+        packed = self._run_procpool(pool, kern, chunks, n, timed=True)
+        t1 = tracer.now()
+        # Workers time with perf_counter; anchor their absolute stamps
+        # to this tracer's epoch (same monotonic clock on one host).
+        epoch = time.perf_counter() - tracer.now()
+
+        out, walls = [], []
+        for (lo, hi), (res, c0, c1, pid) in zip(chunks, packed):
+            out.append(res)
+            tracer.record(f"chunk[{lo}:{hi})", "chunk",
+                          c0 - epoch, c1 - epoch, tid=pid,
+                          round=rid, size=hi - lo, phase=phase)
+            walls.append(c1 - c0)
+        self._record_round(rid, phase, t0, t1, n, walls)
+        return out
+
+    def _record_round(self, rid: int, phase, t0: float, t1: float,
+                      n: int, walls: list) -> None:
         max_w = max(walls, default=0.0)
         mean_w = sum(walls) / len(walls) if walls else 0.0
-        tracer.record(f"{phase or 'map_chunks'}#round{rid}", "round",
-                      t0, t1, round=rid, phase=phase, items=n,
-                      chunks=len(walls), max_chunk_s=max_w,
-                      mean_chunk_s=mean_w,
-                      imbalance=(max_w / mean_w) if mean_w > 0 else 1.0)
-        return out
+        self.tracer.record(f"{phase or 'map_chunks'}#round{rid}", "round",
+                           t0, t1, round=rid, phase=phase, items=n,
+                           chunks=len(walls), max_chunk_s=max_w,
+                           mean_chunk_s=mean_w,
+                           imbalance=(max_w / mean_w) if mean_w > 0 else 1.0)
 
     # -- accounting ----------------------------------------------------------
 
@@ -314,7 +502,9 @@ def resolve_context(ctx: ExecutionContext | None,
                     cost: CostModel | None = None,
                     mem: MemoryModel | None = None,
                     crew: bool = False,
-                    trace=None) -> tuple[ExecutionContext, bool]:
+                    trace=None,
+                    weighted_chunks: bool | None = None) -> \
+        tuple[ExecutionContext, bool]:
     """Return ``(context, owns)`` for an engine entry point.
 
     When the caller supplied a context it is used as-is (``owns`` False:
@@ -327,4 +517,5 @@ def resolve_context(ctx: ExecutionContext | None,
         return ctx, False
     return ExecutionContext(backend=backend, workers=workers,
                             cost=cost, mem=mem, crew=crew,
-                            trace=trace), True
+                            trace=trace,
+                            weighted_chunks=weighted_chunks), True

@@ -1,0 +1,183 @@
+"""Module-level round kernels + the picklable kernel-descriptor protocol.
+
+The process backend cannot ship closures to workers, so every engine
+round is expressed as a *kernel*: a module-level function
+
+    kernel(lo, hi, a, **scalars) -> chunk result
+
+where ``a`` maps short logical array names to NumPy arrays.  Engines
+wrap one round as a :class:`Kernel` descriptor (kernel name + namespace
++ the arrays + picklable scalars) and hand it to
+:meth:`ExecutionContext.map_chunks`:
+
+- **serial / threaded** — the descriptor is simply *called*: the
+  engine's own arrays are passed by reference, exactly the old closure
+  fast path;
+- **process** — the context registers each array in the run's
+  :class:`~repro.runtime.shm.SharedArena` (zero-copy when the engine
+  already holds the arena's view, one memcpy otherwise) and ships only
+  ``(kernel name, array specs, scalars, lo, hi)`` to the persistent
+  worker pool, which rebuilds zero-copy views and calls the same
+  function.
+
+One function per round on every backend is what makes the bit-identical
+contract easy to keep: there is no second implementation to drift.
+Kernels never mutate shared arrays — they return chunk results and the
+coordinator combines them in chunk order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..primitives.kernels import (
+    grouped_mex,
+    multi_slice_gather,
+    segment_any,
+    segment_ids,
+)
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A picklable description of one round's per-chunk work.
+
+    ``ns`` namespaces the arrays in the shared arena (``f"{ns}:{key}"``)
+    so two engines sharing one run (an ADG ordering inside a JP run)
+    never collide.  ``scalars`` must be picklable plain values.
+
+    Calling the descriptor runs the kernel in-process on the arrays as
+    given — the serial/threaded fast path.
+    """
+
+    name: str
+    ns: str
+    arrays: dict = field(default_factory=dict)
+    scalars: dict = field(default_factory=dict)
+
+    def __call__(self, lo: int, hi: int):
+        return KERNELS[self.name](lo, hi, self.arrays, **self.scalars)
+
+
+def _batch_neighbors(indptr: np.ndarray, indices: np.ndarray,
+                     batch: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """CSR batch-neighborhood gather (same as CSRGraph.batch_neighbors,
+    usable where only the raw arrays travel to the worker)."""
+    counts = (indptr[batch + 1] - indptr[batch]).astype(np.int64)
+    nbrs = multi_slice_gather(indices, indptr[batch], counts)
+    return segment_ids(counts), nbrs
+
+
+# -- JP ----------------------------------------------------------------------
+
+def jp_wave(lo: int, hi: int, a: dict):
+    """GetColor for one chunk of the wave frontier (Alg. 3 lines 25-28)."""
+    part = a["frontier"][lo:hi]
+    ranks, colors = a["ranks"], a["colors"]
+    seg, nbrs = _batch_neighbors(a["indptr"], a["indices"], part)
+    is_pred = ranks[nbrs] > ranks[part[seg]]
+    chunk_colors = grouped_mex(seg[is_pred], colors[nbrs[is_pred]], part.size)
+    wave_deg = int(np.bincount(seg, minlength=part.size).max()) \
+        if nbrs.size else 0
+    return part, chunk_colors, nbrs[~is_pred], nbrs.size, wave_deg
+
+
+# -- ADG ---------------------------------------------------------------------
+
+def adg_select(lo: int, hi: int, a: dict, *, threshold: float):
+    """Batch selection: active vertices at or below the degree threshold."""
+    return np.flatnonzero(a["active"][lo:hi] &
+                          (a["D"][lo:hi] <= threshold)) + lo
+
+
+def adg_push(lo: int, hi: int, a: dict, *, compute_ranks: bool):
+    """Push UPDATE (Alg. 1), optionally fused with PRIORITIZE (Alg. 6)."""
+    part = a["batch"][lo:hi]
+    seg, nbrs = _batch_neighbors(a["indptr"], a["indices"], part)
+    live_nbr = a["active"][nbrs]
+    preds = None
+    if compute_ranks:
+        # UPDATEandPRIORITIZE (Alg. 6): a neighbor removed *after* v —
+        # still active, or later in the sorted batch — is a DAG
+        # predecessor of v.
+        owner = part[seg]
+        is_pred = live_nbr | (a["r_mask"][nbrs] &
+                              (a["explicit"][nbrs] > a["explicit"][owner]))
+        preds = owner[is_pred]
+    return nbrs[live_nbr], nbrs.size, preds
+
+
+def adg_pull(lo: int, hi: int, a: dict):
+    """Pull UPDATE (Alg. 2): per-vertex Count(N_U(v) cap R)."""
+    part = a["live"][lo:hi]
+    seg, nbrs = _batch_neighbors(a["indptr"], a["indices"], part)
+    in_r = a["r_mask"][nbrs].astype(np.int64)
+    dec = np.zeros(part.size, dtype=np.int64)
+    np.add.at(dec, seg, in_r)
+    return dec, nbrs.size
+
+
+# -- SIM-COL -----------------------------------------------------------------
+
+def simcol_trial(lo: int, hi: int, a: dict):
+    """Trial evaluation (Alg. 5): reject equal active-neighbor draws
+    and draws forbidden by the B_v bitmap."""
+    mine = a["active"][lo:hi]
+    colors, still = a["colors"], a["still"]
+    seg, nbrs = _batch_neighbors(a["indptr"], a["indices"], mine)
+    same = (colors[nbrs] == colors[mine[seg]]) & still[nbrs]
+    clash = segment_any(same, seg, mine.size)
+    clash |= a["forbidden"][mine, colors[mine]]
+    md = int(np.bincount(seg, minlength=mine.size).max()) if nbrs.size else 0
+    return clash, seg, nbrs, md
+
+
+# -- DEC-ADG -----------------------------------------------------------------
+
+def dec_constraints(lo: int, hi: int, a: dict, *, level: int):
+    """Per-partition gather: deg_l counts and higher-partition colors."""
+    part = a["verts"][lo:hi]
+    levels = a["levels"]
+    seg, nbrs = _batch_neighbors(a["indptr"], a["indices"], part)
+    cg = np.zeros(part.size, dtype=np.int64)
+    np.add.at(cg, seg[levels[nbrs] >= level], 1)
+    higher = levels[nbrs] > level
+    return cg, seg[higher] + lo, a["colors"][nbrs[higher]], nbrs.size
+
+
+# -- DEC-ADG-ITR -------------------------------------------------------------
+
+def itr_choose(lo: int, hi: int, a: dict):
+    """Smallest non-forbidden color: first False in each bitmap row."""
+    mine = a["active"][lo:hi]
+    rows = a["forbidden"][mine]  # fancy indexing: a copy
+    rows[:, 0] = True
+    return np.argmin(rows, axis=1)
+
+
+def itr_conflict(lo: int, hi: int, a: dict):
+    """Conflict detection among same-round neighbors, random priority."""
+    mine = a["active"][lo:hi]
+    colors, still, priority = a["colors"], a["still"], a["priority"]
+    seg, nbrs = _batch_neighbors(a["indptr"], a["indices"], mine)
+    same = (colors[nbrs] == colors[mine[seg]]) & still[nbrs]
+    loses = same & (priority[nbrs] > priority[mine[seg]])
+    lost = segment_any(loses, seg, mine.size)
+    md = int(np.bincount(seg, minlength=mine.size).max()) if nbrs.size else 0
+    return lost, seg, nbrs, md
+
+
+#: Name -> kernel function; the worker-side lookup table for descriptors.
+KERNELS: dict[str, Callable] = {
+    "jp.wave": jp_wave,
+    "adg.select": adg_select,
+    "adg.push": adg_push,
+    "adg.pull": adg_pull,
+    "simcol.trial": simcol_trial,
+    "dec.constraints": dec_constraints,
+    "itr.choose": itr_choose,
+    "itr.conflict": itr_conflict,
+}

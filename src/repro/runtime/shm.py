@@ -1,0 +1,204 @@
+"""SharedArena: zero-copy NumPy arrays for the process backend.
+
+The process backend keeps one :class:`SharedArena` per run (owned by
+the pool-hosting :class:`~repro.runtime.ExecutionContext`).  The arena
+places arrays — the CSR graph (``indptr``/``indices``) and the per-run
+state the coordinator mutates between rounds (``colors``, ``D``,
+``active``, ``forbidden``, ...) — in POSIX shared memory
+(:mod:`multiprocessing.shared_memory`) and hands the coordinator a
+NumPy view *into* the segment.  Coordinator writes through that view
+are immediately visible to every worker: nothing is re-sent between
+rounds, and workers rebuild zero-copy views from tiny
+``(segment name, shape, dtype)`` specs shipped with each chunk task.
+
+Slots are keyed by a namespaced logical name and reuse their segment
+across rounds when the capacity still fits (per-round arrays like the
+JP frontier shrink and grow without segment churn); workers cache
+attachments per segment name, so a re-used slot costs them nothing but
+an ``np.ndarray`` view rebuild.
+
+The worker pool is a lazily spawned, persistent
+``ProcessPoolExecutor`` on the ``forkserver`` start method (each worker
+is a fresh fork of a clean server process — no inherited locks, and
+``numpy`` is preloaded so forks are cheap), falling back to ``spawn``
+where forkserver is unavailable.  Workers never create or unlink
+segments — the coordinator owns every lifetime and tears the arena
+down in :meth:`SharedArena.close`; the resource tracker is shared with
+the pool's children, so attach/detach in workers needs no unregister
+games.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import NamedTuple
+
+import numpy as np
+from multiprocessing import shared_memory
+
+
+class ArraySpec(NamedTuple):
+    """Everything a worker needs to rebuild a zero-copy view."""
+
+    shm_name: str
+    shape: tuple
+    dtype: str
+
+
+class _Slot:
+    """One named shared segment plus the coordinator's current view."""
+
+    __slots__ = ("shm", "capacity", "view", "spec")
+
+    def __init__(self, shm: shared_memory.SharedMemory, capacity: int):
+        self.shm = shm
+        self.capacity = capacity
+        self.view: np.ndarray | None = None
+        self.spec: ArraySpec | None = None
+
+
+class SharedArena:
+    """Named shared-memory slots with capacity reuse (coordinator side)."""
+
+    def __init__(self):
+        self._slots: dict[str, _Slot] = {}
+        self.bytes_allocated = 0
+        self.puts = 0
+        self.reuses = 0
+
+    # -- coordinator API -----------------------------------------------------
+
+    def adopt(self, name: str, arr: np.ndarray) -> ArraySpec:
+        """Make ``arr`` available to workers under ``name``; return its spec.
+
+        Zero-copy when ``arr`` *is* the slot's current view (the engine
+        kept writing through it); otherwise the array is copied into
+        the slot (growing the segment only when capacity is exceeded).
+        """
+        slot = self._slots.get(name)
+        if slot is not None and slot.view is arr:
+            self.reuses += 1
+            return slot.spec
+        self.put(name, arr)
+        return self._slots[name].spec
+
+    def put(self, name: str, arr: np.ndarray) -> np.ndarray:
+        """Copy ``arr`` into the named slot; return the shared view.
+
+        The returned view has ``arr``'s shape and dtype but lives in
+        shared memory: coordinator writes through it are visible to
+        workers without any further transfer.
+        """
+        arr = np.ascontiguousarray(arr)
+        nbytes = max(1, arr.nbytes)  # zero-size segments are invalid
+        slot = self._slots.get(name)
+        if slot is None or slot.capacity < nbytes:
+            if slot is not None:
+                self._release(slot)
+                self.bytes_allocated -= slot.capacity
+            shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            slot = _Slot(shm, nbytes)
+            self._slots[name] = slot
+            self.bytes_allocated += nbytes
+        view = np.ndarray(arr.shape, dtype=arr.dtype,
+                          buffer=slot.shm.buf)
+        view[...] = arr
+        slot.view = view
+        slot.spec = ArraySpec(slot.shm.name, arr.shape, arr.dtype.str)
+        self.puts += 1
+        return view
+
+    def owns(self, arr: np.ndarray) -> bool:
+        """Is ``arr`` one of the arena's current views?"""
+        return any(slot.view is arr for slot in self._slots.values())
+
+    @staticmethod
+    def _release(slot: _Slot) -> None:
+        slot.view = None
+        try:
+            slot.shm.close()
+        except BufferError:
+            # A live engine view still points into the segment; the
+            # mapping is released when that view is garbage-collected.
+            pass
+        try:
+            slot.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def close(self) -> None:
+        """Unlink every segment.  Call after the worker pool is down."""
+        for slot in self._slots.values():
+            self._release(slot)
+        self._slots.clear()
+
+    def describe(self) -> dict:
+        return {"slots": len(self._slots),
+                "bytes": self.bytes_allocated,
+                "puts": self.puts, "reuses": self.reuses}
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Per-process cache of attached segments (the coordinator owns their
+#: lifetime; workers only map them).
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _view(spec: ArraySpec) -> np.ndarray:
+    shm = _ATTACHED.get(spec.shm_name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=spec.shm_name)
+        _ATTACHED[spec.shm_name] = shm
+    return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
+                      buffer=shm.buf)
+
+
+def _pool_worker_init(extra_sys_path: list[str]) -> None:
+    """Worker initializer: mirror the coordinator's import path (the
+    coordinator may run from a source tree that is not installed)."""
+    for p in reversed(extra_sys_path):
+        if p not in sys.path:
+            sys.path.insert(0, p)
+
+
+def run_kernel_task(kernel_name: str, specs: dict, scalars: dict,
+                    lo: int, hi: int, timed: bool):
+    """Execute one chunk of a kernel descriptor inside a worker.
+
+    With ``timed`` the chunk wall and the worker's pid ride back for
+    the tracer (perf_counter is monotonic system-wide on the platforms
+    the process backend targets, so the coordinator can place the span
+    on its own timeline).
+    """
+    from .kernels import KERNELS
+
+    a = {name: _view(spec) for name, spec in specs.items()}
+    fn = KERNELS[kernel_name]
+    if not timed:
+        return fn(lo, hi, a, **scalars)
+    c0 = time.perf_counter()
+    res = fn(lo, hi, a, **scalars)
+    return res, c0, time.perf_counter(), os.getpid()
+
+
+def create_pool(workers: int) -> ProcessPoolExecutor:
+    """A persistent forkserver pool (spawn where unavailable)."""
+    methods = mp.get_all_start_methods()
+    method = "forkserver" if "forkserver" in methods else "spawn"
+    ctx = mp.get_context(method)
+    if method == "forkserver":
+        try:
+            # Preload numpy in the fork server so each worker fork is
+            # cheap; repro itself is imported on the worker's first
+            # task (sys.path is fixed up by the initializer).
+            ctx.set_forkserver_preload(["numpy"])
+        except Exception:  # pragma: no cover - preload is best-effort
+            pass
+    return ProcessPoolExecutor(max_workers=workers, mp_context=ctx,
+                               initializer=_pool_worker_init,
+                               initargs=(list(sys.path),))

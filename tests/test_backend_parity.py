@@ -1,9 +1,10 @@
-"""Serial/threaded parity: one engine, bit-identical results.
+"""Backend parity: one engine, bit-identical results on every backend.
 
 The determinism contract of the ExecutionContext runtime: for every
-backend-aware algorithm, ``backend='threaded'`` must produce exactly the
-colors, waves/rounds, ordering ranks/levels, and cost/memory books of
-``backend='serial'``, for any worker count.
+backend-aware algorithm, ``backend='threaded'`` and ``backend='process'``
+must produce exactly the colors, waves/rounds, ordering ranks/levels,
+and cost/memory books of ``backend='serial'``, for any worker count —
+and with work-balanced chunking on or off.
 """
 
 import numpy as np
@@ -16,9 +17,16 @@ from repro.coloring.registry import BACKEND_AWARE, color
 from repro.coloring.verify import assert_valid_coloring
 from repro.graphs.generators import chung_lu, gnm_random, grid_2d
 from repro.obs import NULL_TRACER, Tracer
+from repro.runtime import ExecutionContext
+
 from repro.ordering.adg import adg_m_ordering, adg_ordering
 
 WORKER_COUNTS = [1, 2, 4]
+#: (backend, workers) rows checked against the serial baseline.  The
+#: process rows are kept lean — each spawns a worker pool.
+BACKEND_ROWS = ([("threaded", w) for w in WORKER_COUNTS]
+                + [("process", 2)])
+BACKEND_IDS = [f"{b}-{w}" for b, w in BACKEND_ROWS]
 
 
 @pytest.fixture(scope="module")
@@ -26,71 +34,98 @@ def parity_graph():
     return chung_lu(400, 2000, seed=11)
 
 
-def _assert_result_parity(serial, threaded, workers):
-    np.testing.assert_array_equal(threaded.colors, serial.colors)
-    assert threaded.rounds == serial.rounds
-    assert threaded.cost.work == serial.cost.work
-    assert threaded.cost.depth == serial.cost.depth
+def _assert_result_parity(serial, parallel, backend, workers):
+    np.testing.assert_array_equal(parallel.colors, serial.colors)
+    assert parallel.rounds == serial.rounds
+    assert parallel.cost.work == serial.cost.work
+    assert parallel.cost.depth == serial.cost.depth
     if serial.reorder_cost is not None:
-        assert threaded.reorder_cost.work == serial.reorder_cost.work
-        assert threaded.reorder_cost.depth == serial.reorder_cost.depth
-    assert threaded.backend == "threaded"
-    assert threaded.workers == workers
+        assert parallel.reorder_cost.work == serial.reorder_cost.work
+        assert parallel.reorder_cost.depth == serial.reorder_cost.depth
+    assert parallel.backend == backend
+    assert parallel.workers == workers
 
 
 class TestJPParity:
-    @pytest.mark.parametrize("workers", WORKER_COUNTS)
-    def test_jp_adg(self, parity_graph, workers):
+    @pytest.mark.parametrize("backend,workers", BACKEND_ROWS,
+                             ids=BACKEND_IDS)
+    def test_jp_adg(self, parity_graph, backend, workers):
         serial = jp_by_name(parity_graph, "ADG", seed=0, eps=0.1)
-        threaded = jp_by_name(parity_graph, "ADG", seed=0, eps=0.1,
-                              backend="threaded", workers=workers)
-        _assert_result_parity(serial, threaded, workers)
+        parallel = jp_by_name(parity_graph, "ADG", seed=0, eps=0.1,
+                              backend=backend, workers=workers)
+        _assert_result_parity(serial, parallel, backend, workers)
 
-    @pytest.mark.parametrize("workers", WORKER_COUNTS)
-    def test_jp_adg_fused(self, parity_graph, workers):
+    @pytest.mark.parametrize("backend,workers", BACKEND_ROWS,
+                             ids=BACKEND_IDS)
+    def test_jp_adg_fused(self, parity_graph, backend, workers):
         serial = jp_adg_fused(parity_graph, eps=0.1, seed=0)
-        threaded = jp_adg_fused(parity_graph, eps=0.1, seed=0,
-                                backend="threaded", workers=workers)
-        _assert_result_parity(serial, threaded, workers)
+        parallel = jp_adg_fused(parity_graph, eps=0.1, seed=0,
+                                backend=backend, workers=workers)
+        _assert_result_parity(serial, parallel, backend, workers)
 
 
 class TestOrderingParity:
-    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("backend,workers", BACKEND_ROWS,
+                             ids=BACKEND_IDS)
     @pytest.mark.parametrize("fn", [adg_ordering, adg_m_ordering],
                              ids=["ADG", "ADG-M"])
-    def test_adg_family(self, parity_graph, fn, workers):
+    def test_adg_family(self, parity_graph, fn, backend, workers):
         serial = fn(parity_graph, eps=0.1, seed=0)
-        threaded = fn(parity_graph, eps=0.1, seed=0,
-                      backend="threaded", workers=workers)
-        np.testing.assert_array_equal(threaded.ranks, serial.ranks)
-        np.testing.assert_array_equal(threaded.levels, serial.levels)
-        assert threaded.num_levels == serial.num_levels
-        assert threaded.cost.work == serial.cost.work
-        assert threaded.cost.depth == serial.cost.depth
+        parallel = fn(parity_graph, eps=0.1, seed=0,
+                      backend=backend, workers=workers)
+        np.testing.assert_array_equal(parallel.ranks, serial.ranks)
+        np.testing.assert_array_equal(parallel.levels, serial.levels)
+        assert parallel.num_levels == serial.num_levels
+        assert parallel.cost.work == serial.cost.work
+        assert parallel.cost.depth == serial.cost.depth
 
-    @pytest.mark.parametrize("workers", WORKER_COUNTS)
-    def test_adg_fused_ranks(self, parity_graph, workers):
+    @pytest.mark.parametrize("backend,workers", BACKEND_ROWS,
+                             ids=BACKEND_IDS)
+    def test_adg_fused_ranks(self, parity_graph, backend, workers):
         """UPDATEandPRIORITIZE (compute_ranks) parity, incl. pred_counts."""
         serial = adg_ordering(parity_graph, eps=0.1, sort_batches=True,
                               compute_ranks=True)
-        threaded = adg_ordering(parity_graph, eps=0.1, sort_batches=True,
+        parallel = adg_ordering(parity_graph, eps=0.1, sort_batches=True,
                                 compute_ranks=True,
-                                backend="threaded", workers=workers)
-        np.testing.assert_array_equal(threaded.ranks, serial.ranks)
-        np.testing.assert_array_equal(threaded.pred_counts,
+                                backend=backend, workers=workers)
+        np.testing.assert_array_equal(parallel.ranks, serial.ranks)
+        np.testing.assert_array_equal(parallel.pred_counts,
                                       serial.pred_counts)
 
 
 class TestDecParity:
-    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("backend,workers", BACKEND_ROWS,
+                             ids=BACKEND_IDS)
     @pytest.mark.parametrize("fn", [dec_adg, dec_adg_m, dec_adg_itr],
                              ids=["DEC-ADG", "DEC-ADG-M", "DEC-ADG-ITR"])
-    def test_dec_family(self, parity_graph, fn, workers):
+    def test_dec_family(self, parity_graph, fn, backend, workers):
         serial = fn(parity_graph, seed=0)
-        threaded = fn(parity_graph, seed=0,
-                      backend="threaded", workers=workers)
-        _assert_result_parity(serial, threaded, workers)
-        assert_valid_coloring(parity_graph, threaded.colors)
+        parallel = fn(parity_graph, seed=0,
+                      backend=backend, workers=workers)
+        _assert_result_parity(serial, parallel, backend, workers)
+        assert_valid_coloring(parity_graph, parallel.colors)
+
+
+class TestWeightedChunkingParity:
+    """Weights move chunk boundaries, never results or books."""
+
+    @pytest.mark.parametrize("backend,workers",
+                             [("threaded", 4), ("process", 2)],
+                             ids=["threaded", "process"])
+    def test_weighted_on_off_identical(self, parity_graph, backend,
+                                       workers):
+        results = {}
+        for weighted in (True, False):
+            with ExecutionContext(backend=backend, workers=workers,
+                                  weighted_chunks=weighted) as ctx:
+                results[weighted] = jp_by_name(parity_graph, "ADG",
+                                               seed=0, eps=0.1, ctx=ctx)
+        on, off = results[True], results[False]
+        np.testing.assert_array_equal(on.colors, off.colors)
+        assert on.rounds == off.rounds
+        assert on.cost.work == off.cost.work
+        assert on.cost.depth == off.cost.depth
+        assert on.mem.total == off.mem.total
 
 
 class TestRegistryParity:
@@ -102,6 +137,15 @@ class TestRegistryParity:
         np.testing.assert_array_equal(threaded.colors, serial.colors)
         assert threaded.rounds == serial.rounds
         assert threaded.backend == "threaded"
+
+    @pytest.mark.parametrize("name", sorted(BACKEND_AWARE))
+    def test_every_backend_aware_algorithm_process(self, name):
+        g = gnm_random(150, 500, seed=5)
+        serial = color(name, g, seed=0)
+        proc = color(name, g, seed=0, backend="process", workers=2)
+        np.testing.assert_array_equal(proc.colors, serial.colors)
+        assert proc.rounds == serial.rounds
+        assert proc.backend == "process"
 
     def test_serial_only_algorithm_ignores_backend(self):
         g = grid_2d(10, 10)
@@ -115,8 +159,9 @@ class TestTracingParity:
     @pytest.mark.parametrize("name", ["JP-ADG", "JP-ADG-O", "DEC-ADG",
                                       "DEC-ADG-ITR"])
     @pytest.mark.parametrize("backend,workers",
-                             [("serial", 1), ("threaded", 4)],
-                             ids=["serial", "threaded"])
+                             [("serial", 1), ("threaded", 4),
+                              ("process", 2)],
+                             ids=["serial", "threaded", "process"])
     def test_traced_bit_identical(self, parity_graph, name, backend,
                                   workers):
         plain = color(name, parity_graph, seed=0,
@@ -167,6 +212,13 @@ class TestThreadedAccounting:
                          backend="threaded", workers=4)
         assert threaded.cost.snapshot() == serial.cost.snapshot()
         assert threaded.mem.total == serial.mem.total
+
+    def test_process_matches_serial_books(self, parity_graph):
+        serial = color("JP-ADG", parity_graph, seed=0)
+        proc = color("JP-ADG", parity_graph, seed=0,
+                     backend="process", workers=2)
+        assert proc.cost.snapshot() == serial.cost.snapshot()
+        assert proc.mem.total == serial.mem.total
 
     def test_phase_walls_recorded(self, parity_graph):
         res = color("JP-ADG", parity_graph, seed=0,

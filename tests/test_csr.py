@@ -32,11 +32,24 @@ class TestShape:
         assert g.n == 0 and g.m == 0
         assert g.max_degree == 0 and g.avg_degree == 0.0
 
-    def test_degrees_returns_fresh_array(self):
+    def test_degrees_cached_and_read_only(self):
         g = triangle()
         d = g.degrees
-        d[0] = 99
+        assert g.degrees is d  # cached per instance
+        assert not d.flags.writeable
+        with pytest.raises(ValueError):
+            d[0] = 99
         assert g.degrees[0] == 2
+        # Peeling callers take a private, writable copy.
+        c = d.copy()
+        c[0] = 99
+        assert g.degrees[0] == 2
+
+    def test_degree_extremes_cached(self):
+        g = from_edges([0, 0, 0], [1, 2, 3])
+        assert g.max_degree == g.max_degree == 3
+        assert "max_degree" in g.__dict__  # cached_property materialized
+        assert g.min_degree == 1
 
 
 class TestAccess:
@@ -126,8 +139,31 @@ class TestValidate:
     def test_unsorted_row_detected(self):
         g = CSRGraph(indptr=np.array([0, 2, 3, 4]),
                      indices=np.array([2, 1, 0, 0]))
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="row 0"):
             g.validate()
+
+    def test_duplicate_in_row_detected(self):
+        # Equal adjacent neighbors (a repeated edge) violate *strictly*
+        # increasing, and the error names the right row.
+        g = CSRGraph(indptr=np.array([0, 1, 4, 5, 5]),
+                     indices=np.array([1, 0, 2, 2, 1]))
+        with pytest.raises(ValueError, match="row 1"):
+            g.validate()
+
+    def test_boundary_descent_is_legal(self):
+        # The flat indices array "descends" across the row boundary
+        # (row 0 ends with 1, row 1 starts with 0); the vectorized
+        # strictness check must mask that pair out.
+        g = CSRGraph(indptr=np.array([0, 1, 2]),
+                     indices=np.array([1, 0]))
+        g.validate()
+
+    def test_empty_rows_between_full_rows(self):
+        # star(2) with isolated middle vertices exercises repeated
+        # indptr cuts at the same position.
+        g = CSRGraph(indptr=np.array([0, 2, 2, 2, 3, 4]),
+                     indices=np.array([3, 4, 0, 0]))
+        g.validate()
 
     @given(graphs())
     @settings(max_examples=60, deadline=None)

@@ -150,6 +150,26 @@ class TestGroupedMex:
         values = np.array([1, 1, 2, 3])
         np.testing.assert_array_equal(grouped_mex(group, values, 2), [2, 3])
 
+    def test_huge_sparse_values_capped(self):
+        """Regression: astronomically large color values must not blow
+        up the sort key — the cap clamps them to group size + 1 without
+        changing any mex."""
+        group = np.array([0, 0, 0, 1, 1, 2])
+        values = np.array([1, 2, 2**62, 10**15, 1, 2**60])
+        np.testing.assert_array_equal(grouped_mex(group, values, 4),
+                                      [3, 2, 1, 1])
+
+    def test_cap_boundary_value_exact(self):
+        # A value exactly at count+1 is the group's own mex candidate:
+        # [1, 2, 3] with count 3 -> mex 4; clamp must not disturb it.
+        group = np.zeros(3, dtype=np.int64)
+        values = np.array([1, 2, 3])
+        np.testing.assert_array_equal(grouped_mex(group, values, 1), [4])
+        # ... while count+1 among duplicates stays a gap detector.
+        group = np.zeros(3, dtype=np.int64)
+        values = np.array([1, 1, 4])
+        np.testing.assert_array_equal(grouped_mex(group, values, 1), [2])
+
     @given(st.data())
     @settings(max_examples=200, deadline=None)
     def test_matches_bruteforce(self, data):
@@ -160,6 +180,22 @@ class TestGroupedMex:
             dtype=np.int64)
         values = np.asarray(data.draw(st.lists(
             st.integers(-2, 12), min_size=k, max_size=k)), dtype=np.int64)
+        np.testing.assert_array_equal(
+            grouped_mex(group, values, n_groups),
+            grouped_mex_bruteforce(group, values, n_groups))
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_matches_bruteforce_sparse_values(self, data):
+        """Bruteforce parity with huge sparse draws (exercises the cap)."""
+        n_groups = data.draw(st.integers(1, 6))
+        k = data.draw(st.integers(0, 25))
+        group = np.asarray(data.draw(st.lists(
+            st.integers(0, n_groups - 1), min_size=k, max_size=k)),
+            dtype=np.int64)
+        values = np.asarray(data.draw(st.lists(
+            st.one_of(st.integers(-2, 6), st.integers(10**9, 2**62)),
+            min_size=k, max_size=k)), dtype=np.int64)
         np.testing.assert_array_equal(
             grouped_mex(group, values, n_groups),
             grouped_mex_bruteforce(group, values, n_groups))

@@ -7,13 +7,16 @@ import pytest
 
 from repro.machine.costmodel import CostModel
 from repro.machine.memmodel import MemoryModel
+from repro.machine.parallel import split_chunks, split_chunks_weighted
 from repro.obs import NULL_TRACER, Tracer
 from repro.runtime import (
     BACKENDS,
     CHUNKS_PER_WORKER,
     ChunkError,
     ExecutionContext,
+    Kernel,
     default_backend,
+    default_weighted_chunks,
     resolve_context,
 )
 
@@ -59,7 +62,7 @@ class TestConstruction:
         assert ctx.cost is cost and ctx.mem is mem
 
     def test_backends_constant(self):
-        assert BACKENDS == ("serial", "threaded")
+        assert BACKENDS == ("serial", "threaded", "process")
 
     def test_describe(self):
         ctx = ExecutionContext(backend="threaded", workers=2)
@@ -107,6 +110,206 @@ class TestMapChunks:
     def test_empty_range(self):
         with ExecutionContext(backend="threaded", workers=2) as ctx:
             assert ctx.map_chunks(lambda lo, hi: hi - lo, 0) == []
+
+
+class TestWeightedSplit:
+    """Property tests for the prefix-sum work-balanced chunking."""
+
+    @staticmethod
+    def _check_cover(spans, n):
+        assert spans[0][0] == 0 and spans[-1][1] == n
+        for (a, b), (c, d) in zip(spans, spans[1:]):
+            assert b == c
+        assert all(lo < hi for lo, hi in spans)
+
+    def test_covers_range_exactly_and_contiguous(self):
+        rng = np.random.default_rng(0)
+        for n, k in [(1, 1), (7, 3), (100, 8), (1000, 16)]:
+            w = rng.integers(0, 50, size=n)
+            spans = split_chunks_weighted(n, k, w)
+            self._check_cover(spans, n)
+            assert len(spans) <= k
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        w = rng.integers(0, 100, size=500)
+        assert split_chunks_weighted(500, 8, w) == \
+            split_chunks_weighted(500, 8, w.copy())
+
+    def test_balances_work_not_count(self):
+        # 10 heavy items then 990 light ones: uniform chunking piles the
+        # heavy prefix into one chunk; weighted splits it up.
+        w = np.concatenate([np.full(10, 1000), np.ones(990)])
+        spans = split_chunks_weighted(1000, 8, w)
+        self._check_cover(spans, 1000)
+        per_chunk = [w[lo:hi].sum() for lo, hi in spans]
+        # Every chunk's weight is within one max item of the ideal.
+        assert max(per_chunk) <= w.sum() / 8 + w.max()
+        uniform = split_chunks(1000, 8)
+        heavy_uniform = max(w[lo:hi].sum() for lo, hi in uniform)
+        assert max(per_chunk) < heavy_uniform
+
+    def test_zero_weights_fall_back_to_uniform(self):
+        w = np.zeros(100)
+        assert split_chunks_weighted(100, 4, w) == split_chunks(100, 4)
+
+    def test_one_giant_item_gets_own_boundary(self):
+        w = np.ones(100)
+        w[37] = 10_000
+        spans = split_chunks_weighted(100, 8, w)
+        self._check_cover(spans, 100)
+        # The chunk holding the giant closes right after it.
+        (giant,) = [s for s in spans if s[0] <= 37 < s[1]]
+        assert giant[1] == 38
+
+    def test_empty_range(self):
+        assert split_chunks_weighted(0, 4, np.empty(0)) == []
+
+    def test_single_chunk(self):
+        assert split_chunks_weighted(10, 1, np.arange(10)) == [(0, 10)]
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            split_chunks_weighted(3, 2, np.array([1.0, -1.0, 1.0]))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            split_chunks_weighted(3, 2, np.ones(4))
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WEIGHTED_CHUNKS", raising=False)
+        assert default_weighted_chunks() is True
+        monkeypatch.setenv("REPRO_WEIGHTED_CHUNKS", "0")
+        assert default_weighted_chunks() is False
+        monkeypatch.setenv("REPRO_WEIGHTED_CHUNKS", "on")
+        assert default_weighted_chunks() is True
+        monkeypatch.setenv("REPRO_WEIGHTED_CHUNKS", "maybe")
+        with pytest.raises(ValueError, match="REPRO_WEIGHTED_CHUNKS"):
+            default_weighted_chunks()
+
+
+class TestWeightedMapChunks:
+    def test_weights_change_boundaries_not_results(self):
+        x = np.arange(2000) % 11
+        w = np.concatenate([np.full(20, 500), np.ones(1980)])
+        pick = lambda lo, hi: np.flatnonzero(x[lo:hi] == 0) + lo
+        with ExecutionContext(backend="threaded", workers=4) as ctx:
+            plain = np.concatenate(ctx.map_chunks(pick, x.size))
+            weighted = np.concatenate(ctx.map_chunks(pick, x.size,
+                                                     weights=w))
+        np.testing.assert_array_equal(plain, weighted)
+        np.testing.assert_array_equal(weighted, np.flatnonzero(x == 0))
+
+    def test_weighted_chunks_off_ignores_weights(self):
+        with ExecutionContext(backend="threaded", workers=4,
+                              weighted_chunks=False) as ctx:
+            spans = ctx.map_chunks(
+                lambda lo, hi: (lo, hi), 1000,
+                weights=np.concatenate([np.full(10, 1e6), np.ones(990)]))
+        with ExecutionContext(backend="threaded", workers=4) as ctx:
+            uniform = ctx.map_chunks(lambda lo, hi: (lo, hi), 1000)
+        assert spans == uniform
+
+
+class TestProcessBackend:
+    """Runtime-level process backend: kernels, arena, tracing."""
+
+    def _select_kernel(self, n):
+        return Kernel("adg.select", "t",
+                      arrays={"active": np.ones(n, dtype=bool),
+                              "D": np.arange(n, dtype=np.int64)},
+                      scalars={"threshold": float(n // 2)})
+
+    def test_kernel_results_match_inline(self):
+        n = 1000
+        kern = self._select_kernel(n)
+        with ExecutionContext(backend="process", workers=2) as ctx:
+            got = np.concatenate(ctx.map_chunks(kern, n))
+        np.testing.assert_array_equal(got, np.arange(n // 2 + 1))
+
+    def test_closures_rejected(self):
+        with ExecutionContext(backend="process", workers=2) as ctx:
+            with pytest.raises(TypeError, match="picklable kernel"):
+                ctx.map_chunks(lambda lo, hi: hi - lo, 1000)
+
+    def test_share_and_localize(self):
+        with ExecutionContext(backend="process", workers=2) as ctx:
+            arr = np.arange(100, dtype=np.int64)
+            view = ctx.share("t", "arr", arr)
+            assert view is not arr
+            np.testing.assert_array_equal(view, arr)
+            local = ctx.localize(view)
+            assert local is not view
+            local2 = ctx.localize(local)  # non-arena arrays pass through
+            assert local2 is local
+
+    def test_share_is_passthrough_on_serial_and_threaded(self):
+        arr = np.arange(10)
+        for backend in ("serial", "threaded"):
+            with ExecutionContext(backend=backend, workers=2) as ctx:
+                assert ctx.share("t", "arr", arr) is arr
+                assert ctx.localize(arr) is arr
+
+    def test_coordinator_writes_visible_to_workers(self):
+        n = 1000
+        with ExecutionContext(backend="process", workers=2) as ctx:
+            D = ctx.share("t", "D", np.arange(n, dtype=np.int64))
+            active = ctx.share("t", "active", np.ones(n, dtype=bool))
+            kern = Kernel("adg.select", "t",
+                          arrays={"active": active, "D": D},
+                          scalars={"threshold": 10.0})
+            first = np.concatenate(ctx.map_chunks(kern, n))
+            D[:] = 0  # coordinator write through the shared view
+            second = np.concatenate(ctx.map_chunks(kern, n))
+        np.testing.assert_array_equal(first, np.arange(11))
+        np.testing.assert_array_equal(second, np.arange(n))
+
+    def test_traced_round_and_chunk_events(self):
+        n = 2000
+        kern = self._select_kernel(n)
+        with ExecutionContext(backend="process", workers=2,
+                              trace=True) as ctx:
+            with ctx.phase("work"):
+                ctx.map_chunks(kern, n)
+            tracer = ctx.tracer
+        rounds = tracer.spans(cat="round")
+        chunks = tracer.spans(cat="chunk")
+        assert len(rounds) == 1
+        assert rounds[0].args["phase"] == "work"
+        assert rounds[0].args["chunks"] == len(chunks)
+        assert sum(s.args["size"] for s in chunks) == n
+        assert all(s.dur >= 0 for s in chunks)
+
+    def test_chunk_error_wraps_worker_failure(self):
+        # A kernel that indexes out of range fails inside the worker.
+        kern = Kernel("adg.select", "t",
+                      arrays={"active": np.ones(10, dtype=bool),
+                              "D": np.arange(5, dtype=np.int64)},
+                      scalars={"threshold": 3.0})
+        with ExecutionContext(backend="process", workers=2) as ctx:
+            with pytest.raises(ChunkError, match="items failed"):
+                ctx.map_chunks(kern, 10)
+            # The pool survives and stays usable.
+            good = self._select_kernel(100)
+            assert ctx.map_chunks(good, 100)
+
+    def test_pool_and_arena_closed(self):
+        ctx = ExecutionContext(backend="process", workers=2)
+        assert ctx._procpool is None and ctx._arena is None
+        ctx.map_chunks(self._select_kernel(500), 500)
+        assert ctx._procpool is not None and ctx._arena is not None
+        ctx.close()
+        assert ctx._procpool is None and ctx._arena is None
+
+    def test_child_shares_pool_and_arena(self):
+        with ExecutionContext(backend="process", workers=2) as ctx:
+            ctx.map_chunks(self._select_kernel(500), 500)
+            kid = ctx.child()
+            assert kid._pool_host is ctx
+            assert kid._acquire_procpool() is ctx._procpool
+            assert kid._acquire_arena() is ctx._arena
+            kid.close()  # non-host close leaves pool and arena alive
+            assert ctx._procpool is not None and ctx._arena is not None
 
 
 class TestPoolLifecycle:
