@@ -97,6 +97,8 @@ def cmd_color(args: argparse.Namespace) -> int:
     if args.json:
         summary["phase_walls"] = {k: round(v, 6)
                                   for k, v in res.phase_walls.items()}
+        if res.faults is not None:
+            summary["faults"] = res.faults
         print(json.dumps(summary))
     else:
         print(format_table([summary]))
@@ -250,6 +252,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     """Trace one run and print its per-phase / per-round breakdown."""
     from .obs import (
         Tracer,
+        fault_breakdown,
         imbalance_breakdown,
         phase_breakdown,
         round_breakdown,
@@ -269,9 +272,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
     phases = phase_breakdown(res, tracer)
     rounds = round_breakdown(tracer)
     imbalance = imbalance_breakdown(tracer)
+    faults = fault_breakdown(res)
     if args.json:
         print(json.dumps({"summary": summary, "phases": phases,
-                          "rounds": rounds, "imbalance": imbalance}))
+                          "rounds": rounds, "imbalance": imbalance,
+                          "faults": faults}))
     else:
         print(format_table([summary]))
         print("\n== per-phase breakdown (exclusive wall) ==")
@@ -282,6 +287,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
         if imbalance:
             print("\n== chunked rounds (threaded imbalance) ==")
             print(format_table(imbalance))
+        if faults:
+            print("\n== fault recovery ==")
+            print(format_table(faults))
     flush_trace(tracer)
     return 0
 
@@ -313,6 +321,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="export a run trace: .jsonl for the event "
                             "log, anything else for Chrome trace JSON "
                             "(open in Perfetto)")
+        p.add_argument("--faults", metavar="SPEC",
+                       help="deterministic fault plan for chaos runs, "
+                            "e.g. 'error@3.0;kill@8.*;delay%%0.01:0.005;"
+                            "seed=7' (same grammar as $REPRO_FAULTS); "
+                            "results are bit-identical to a fault-free "
+                            "run")
 
     p_color = sub.add_parser("color", help="run a coloring algorithm")
     common(p_color)
@@ -358,6 +372,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "faults", None):
+        # The runtime reads $REPRO_FAULTS wherever a context is built
+        # (including child contexts and the bench harness), so the env
+        # var is the one seam that covers every subcommand.
+        import os
+        os.environ["REPRO_FAULTS"] = args.faults
     return args.fn(args)
 
 

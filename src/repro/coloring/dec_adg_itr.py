@@ -183,7 +183,8 @@ def dec_adg_itr(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
                               reorder_wall_seconds=reorder_wall,
                               backend=ctx.backend, workers=ctx.workers,
                               phase_walls=dict(ctx.wall_by_phase),
-                              trace_summary=ctx.trace_summary())
+                              trace_summary=ctx.trace_summary(),
+                              faults=ctx.fault_record())
     finally:
         if owns:
             ctx.close()

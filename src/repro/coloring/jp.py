@@ -180,7 +180,8 @@ def jp(g: CSRGraph, ordering: Ordering, use_fused_ranks: bool = True,
                               wall_seconds=wall, backend=ctx.backend,
                               workers=ctx.workers,
                               phase_walls=dict(ctx.wall_by_phase),
-                              trace_summary=ctx.trace_summary())
+                              trace_summary=ctx.trace_summary(),
+                              faults=ctx.fault_record())
     finally:
         if owns:
             ctx.close()

@@ -30,6 +30,14 @@ class ColoringResult:
     (:mod:`repro.obs`): then it carries the tracer digest — event
     counts, run-wide per-phase self walls, the per-round metric series
     (frontier/batch/conflict dynamics), and the chunk-imbalance stats.
+
+    ``faults`` is ``None`` for a quiet run with no fault plan; otherwise
+    it is the runtime's :meth:`~repro.runtime.ExecutionContext.fault_record`
+    digest — the run-wide ``fault.*`` counters (injections, retries,
+    timeouts, respawns, degradations), the ordered respawn/degradation
+    event log, and the injection plan's own summary.  Note that after a
+    backend degradation ``backend`` records the backend the run
+    *finished* on; the events list holds where it started.
     """
 
     algorithm: str
@@ -46,6 +54,7 @@ class ColoringResult:
     workers: int = 1
     phase_walls: dict[str, float] = field(default_factory=dict)
     trace_summary: dict | None = None
+    faults: dict | None = None
 
     def __post_init__(self) -> None:
         self.colors = np.asarray(self.colors, dtype=np.int64)

@@ -14,6 +14,15 @@ hence the coloring — is identical on every backend), while the
 per-vertex conflict checks read only this round's fixed draws and are
 embarrassingly parallel.  Bitmap commits are applied on the coordinator
 after the chunks return.
+
+Because the color draw happens once per round on the coordinator and
+the chunked trial kernel is pure, SIM-COL is fault-transparent: a
+retried or re-dispatched ``simcol.trial`` chunk re-reads the same fixed
+draws, so recovery under a :class:`~repro.runtime.faults.FaultPlan`
+reproduces the fault-free coloring bit for bit.  SIM-COL returns a
+plain ``(colors, rounds)`` tuple; callers that build a
+:class:`~repro.coloring.result.ColoringResult` (DEC-ADG) attach the
+run's fault record there.
 """
 
 from __future__ import annotations

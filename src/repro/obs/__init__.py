@@ -11,7 +11,12 @@ subcommand, or ``$REPRO_TRACE``.
 
 from .chrome import chrome_trace, write_chrome_trace
 from .metrics import MetricPoint, MetricsRegistry, Series
-from .profile import imbalance_breakdown, phase_breakdown, round_breakdown
+from .profile import (
+    fault_breakdown,
+    imbalance_breakdown,
+    phase_breakdown,
+    round_breakdown,
+)
 from .sinks import jsonl_records, read_jsonl, write_jsonl
 from .tracer import (
     CATEGORIES,
@@ -26,7 +31,8 @@ from .validate import validate_chrome, validate_jsonl, validate_trace_file
 __all__ = [
     "CATEGORIES", "NULL_TRACER", "MetricPoint", "MetricsRegistry",
     "NullTracer", "Series", "SpanEvent", "Tracer", "chrome_trace",
-    "imbalance_breakdown", "jsonl_records", "phase_breakdown",
+    "fault_breakdown", "imbalance_breakdown", "jsonl_records",
+    "phase_breakdown",
     "read_jsonl", "resolve_tracer", "round_breakdown",
     "validate_chrome", "validate_jsonl", "validate_trace_file",
     "write_chrome_trace", "write_jsonl",

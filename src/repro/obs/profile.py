@@ -65,6 +65,35 @@ def round_breakdown(tracer) -> list[dict]:
     return out
 
 
+def fault_breakdown(result) -> list[dict]:
+    """Fault-recovery rows for one run, from ``result.faults``.
+
+    One row per ``fault.*`` counter (injections, retries, timeouts,
+    respawns, degradations) followed by one row per recorded
+    respawn/degradation event, in order.  Empty when the run had no
+    fault plan and saw no recovery activity — the profile section is
+    omitted then.
+    """
+    rec = getattr(result, "faults", None)
+    if not rec:
+        return []
+    rows = [{"kind": "counter", "name": name, "value": rec["counters"][name],
+             "detail": ""}
+            for name in sorted(rec["counters"])]
+    for ev in rec["events"]:
+        detail = {k: v for k, v in ev.items() if k != "kind"}
+        rows.append({"kind": "event", "name": ev["kind"],
+                     "value": detail.pop("round", ""),
+                     "detail": " ".join(f"{k}={v}"
+                                        for k, v in sorted(detail.items()))})
+    plan = rec.get("plan")
+    if plan:
+        rows.append({"kind": "plan", "name": "clauses",
+                     "value": plan["clauses"],
+                     "detail": f"seed={plan['seed']} fired={plan['fired']}"})
+    return rows
+
+
 def imbalance_breakdown(tracer) -> list[dict]:
     """One row per multi-chunk round: chunk count and max/mean wall."""
     if not tracer.enabled:

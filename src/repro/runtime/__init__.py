@@ -1,6 +1,7 @@
 """Unified execution runtime: backend selection (serial / threaded /
 process), chunked — optionally work-balanced — execution, shared-memory
-state, and end-to-end accounting and tracing behind one
+state, deterministic fault injection with retry / respawn / degradation
+recovery, and end-to-end accounting and tracing behind one
 :class:`ExecutionContext` object."""
 
 from .context import (
@@ -12,11 +13,19 @@ from .context import (
     default_weighted_chunks,
     resolve_context,
 )
+from .faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    WorkerDeath,
+    resolve_fault_plan,
+)
 from .kernels import KERNELS, Kernel
 from .shm import SharedArena
 
 __all__ = [
     "BACKENDS", "CHUNKS_PER_WORKER", "ChunkError", "ExecutionContext",
-    "KERNELS", "Kernel", "SharedArena", "default_backend",
-    "default_weighted_chunks", "resolve_context",
+    "FaultInjected", "FaultPlan", "FaultSpec", "KERNELS", "Kernel",
+    "SharedArena", "WorkerDeath", "default_backend",
+    "default_weighted_chunks", "resolve_context", "resolve_fault_plan",
 ]

@@ -13,6 +13,11 @@ needs to execute those rounds and account for them:
   chunking: engines pass per-item weights (frontier degrees, batch
   degrees) and chunk boundaries come from a prefix-sum split of total
   weight instead of an even split by count;
+- fault tolerance at the same seam (:mod:`repro.runtime.faults`):
+  per-chunk retry with capped exponential backoff, a per-round deadline
+  that cancels stragglers, dead-worker detection with pool respawn and
+  re-dispatch of only the lost chunks, and graceful backend degradation
+  (process -> threaded -> serial) once the respawn budget is spent;
 - the :class:`~repro.machine.costmodel.CostModel` and
   :class:`~repro.machine.memmodel.MemoryModel` accounting books;
 - per-phase wall-clock timers (:meth:`phase`), recording *exclusive*
@@ -28,12 +33,15 @@ The contract every engine written against this context obeys: the
 parallel backends chunk each round over independent spans and combine
 the partial results in deterministic chunk order, so colors, waves, and
 the recorded work/depth/memory totals are **bit-identical** to the
-serial backend — for any worker count, and with weighted chunking on
-or off (weights move chunk *boundaries*, never the combine order).  On
-the serial backend :meth:`map_chunks` degrades to a single chunk —
-zero chunking overhead, exactly the monolithic vectorized round.
-Tracing is observation only: enabling it never changes results or
-accounting.
+serial backend — for any worker count, with weighted chunking on or
+off, and under any recovery the fault layer performs.  Chunk kernels
+are *pure* (all mutation happens on the coordinator, between rounds, in
+chunk order), so re-running a failed chunk, re-dispatching a dead
+worker's chunks, or finishing a round on a degraded backend recomputes
+exactly the same partial results.  On the serial backend
+:meth:`map_chunks` degrades to a single chunk — zero chunking
+overhead, exactly the monolithic vectorized round.  Tracing is
+observation only: enabling it never changes results or accounting.
 
 Backends:
 
@@ -51,13 +59,36 @@ Backends:
 Serial and threaded accept plain ``fn(lo, hi)`` closures; the process
 backend requires the descriptor form (every engine in this library
 passes descriptors, which the other backends simply call inline).
+
+Recovery policy (see DESIGN.md for the full argument):
+
+- A chunk that raises is retried up to ``retries`` times
+  (``$REPRO_RETRIES``, default 2) with capped exponential backoff
+  (``backoff * 2**(attempt-1)`` seconds, capped at 1s); exhaustion
+  raises :class:`ChunkError` naming the (round, chunk) coordinates.
+- With a ``round_timeout`` (``$REPRO_ROUND_TIMEOUT``), each dispatch
+  wave of a round gets that deadline; stragglers are cancelled,
+  counted as ``fault.timeouts``, and retried against the same budget.
+- A dead worker (``BrokenProcessPool`` on the process backend, the
+  injected :class:`~repro.runtime.faults.WorkerDeath` elsewhere) tears
+  the pool down; it is respawned up to ``max_respawns`` times
+  (``$REPRO_RESPAWNS``, default 2), then the run *degrades* one
+  backend level (process -> threaded -> serial) and finishes there.
+  Only the lost chunks are re-dispatched — completed partial results
+  and the round's chunk boundaries are kept, so the combine order
+  never changes.
+- Everything is recorded: ``fault.*`` counters in the metrics
+  registry, instant events in the tracer, and the
+  :meth:`fault_record` digest engines attach to ``ColoringResult``.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from typing import Callable, TypeVar
 
@@ -69,6 +100,15 @@ from ..machine.parallel import (
     split_chunks_weighted,
 )
 from ..obs import resolve_tracer
+from .faults import (
+    WorkerDeath,
+    apply_fault,
+    default_backoff,
+    default_max_respawns,
+    default_retries,
+    default_round_timeout,
+    resolve_fault_plan,
+)
 from .kernels import Kernel
 from .shm import SharedArena, create_pool, run_kernel_task
 
@@ -80,14 +120,25 @@ BACKENDS = ("serial", "threaded", "process")
 #: spans (frontier vertices have wildly varying degrees).
 CHUNKS_PER_WORKER = 4
 
+#: Cap on one retry-backoff sleep, seconds.
+MAX_BACKOFF = 1.0
+
+#: "Not computed yet" marker in a round's partial-result slots (chunk
+#: kernels may legitimately return None).
+_PENDING = object()
+
 
 class ChunkError(RuntimeError):
-    """A chunk of a :meth:`ExecutionContext.map_chunks` round raised.
+    """A chunk of a :meth:`ExecutionContext.map_chunks` round failed
+    for good.
 
-    Carries the failing chunk's ``[lo, hi)`` range in the message and
-    chains the original exception; remaining futures of the round are
-    cancelled (pending) or drained (running) before this is raised, so
-    no worker outlives the call.
+    Raised only after the retry budget is exhausted (or a straggler
+    outlives the round deadline on its last attempt); the message names
+    the round id, the chunk id, and the chunk's ``[lo, hi)`` range, and
+    the original exception is chained.  Remaining futures of the wave
+    are cancelled (pending) or drained (running) before this is raised,
+    so no worker outlives the call and no stale chunk can write into a
+    later round.
     """
 
 
@@ -121,14 +172,17 @@ def default_weighted_chunks() -> bool:
 
 
 class ExecutionContext:
-    """One object carrying backend, pool, accounting, timers, and tracer.
+    """One object carrying backend, pool, accounting, timers, tracer,
+    and the fault-recovery state of a run.
 
     Parameters
     ----------
     backend:
         ``'serial'``, ``'threaded'`` or ``'process'``; ``None``
         resolves via :func:`default_backend` (``$REPRO_BACKEND``, else
-        serial).
+        serial).  Read it back through the :attr:`backend` property:
+        after a degradation it reports the backend the run is *now*
+        executing on.
     workers:
         Worker count for the parallel backends; ``None`` resolves via
         ``$REPRO_WORKERS``, else the CPU count.  Forced to 1 on the
@@ -149,25 +203,44 @@ class ExecutionContext:
         ``False`` (off), or ``None`` to defer to ``$REPRO_TRACE`` — see
         :func:`repro.obs.resolve_tracer`.  Defaults to the zero-overhead
         null tracer.
+    faults:
+        A :class:`~repro.runtime.faults.FaultPlan`, a plan string
+        (``"error@3.0;kill@5.*;seed=7"``), ``False`` (injection off),
+        or ``None`` to defer to ``$REPRO_FAULTS`` — see
+        :func:`repro.runtime.faults.resolve_fault_plan`.
+    retries, backoff, round_timeout, max_respawns:
+        Recovery budgets; ``None`` resolves via ``$REPRO_RETRIES``
+        (2), ``$REPRO_BACKOFF`` (0.02s), ``$REPRO_ROUND_TIMEOUT``
+        (off; pass 0 to force off), ``$REPRO_RESPAWNS`` (2).
 
     The context is a context manager; the thread pool is created lazily
     on first threaded :meth:`map_chunks` and shut down by
     :meth:`close` / ``__exit__`` (which also flushes a path-bound
     tracer).  :meth:`child` derives a context with fresh accounting
-    books that *shares* the pool and the tracer (used to account an
-    ordering phase separately from the coloring phase of one run).
+    books that *shares* the pool, the tracer, and the fault state (used
+    to account an ordering phase separately from the coloring phase of
+    one run: round ids and recovery budgets are run-wide).
     """
 
     def __init__(self, backend: str | None = None, workers: int | None = None,
                  cost: CostModel | None = None, mem: MemoryModel | None = None,
                  crew: bool = False, trace=None,
                  weighted_chunks: bool | None = None,
+                 faults=None, retries: int | None = None,
+                 backoff: float | None = None,
+                 round_timeout: float | None = None,
+                 max_respawns: int | None = None,
                  _pool_host: "ExecutionContext | None" = None):
-        self.backend = backend if backend is not None else default_backend()
-        if self.backend not in BACKENDS:
+        # The host carries the run-wide state (pool, arena, backend,
+        # fault budgets, round counter); set it before anything that
+        # reads the `backend` property.
+        self._pool_host = _pool_host if _pool_host is not None else self
+        resolved = backend if backend is not None else default_backend()
+        if resolved not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, "
-                             f"got {self.backend!r}")
-        if self.backend == "serial":
+                             f"got {resolved!r}")
+        self._backend = resolved
+        if resolved == "serial":
             self.workers = 1
         else:
             self.workers = workers if workers is not None else default_workers()
@@ -182,14 +255,42 @@ class ExecutionContext:
         if self.tracer.enabled:
             self.tracer.meta.setdefault("backend", self.backend)
             self.tracer.meta.setdefault("workers", self.workers)
-        self._pool_host = _pool_host if _pool_host is not None else self
         self._pool: ThreadPoolExecutor | None = None
         self._procpool = None
         self._arena: SharedArena | None = None
         # Open-phase stack: [name, child_wall_seconds] frames, for
         # exclusive timing and for labeling traced rounds.
         self._phase_stack: list[list] = []
-        self._round_seq = 0
+        if self._pool_host is self:
+            self._faultplan = resolve_fault_plan(faults)
+            self._retries = retries if retries is not None \
+                else default_retries()
+            self._backoff = backoff if backoff is not None \
+                else default_backoff()
+            self._round_timeout = default_round_timeout() \
+                if round_timeout is None else (round_timeout or None)
+            self._max_respawns = max_respawns if max_respawns is not None \
+                else default_max_respawns()
+            if self._retries < 0:
+                raise ValueError(f"retries must be >= 0, "
+                                 f"got {self._retries}")
+            if self._backoff < 0:
+                raise ValueError(f"backoff must be >= 0, "
+                                 f"got {self._backoff}")
+            if self._max_respawns < 0:
+                raise ValueError(f"max_respawns must be >= 0, "
+                                 f"got {self._max_respawns}")
+            self._fault_stats: dict[str, int] = {}
+            self._fault_events: list[dict] = []
+            self._respawns = 0
+            self._round_seq = 0
+
+    @property
+    def backend(self) -> str:
+        """The backend the run executes on *now* — run-wide, so a
+        degradation in any context of the run (ordering child, coloring
+        parent) is visible everywhere."""
+        return self._pool_host._backend
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -217,7 +318,8 @@ class ExecutionContext:
     def child(self, cost: CostModel | None = None,
               mem: MemoryModel | None = None,
               crew: bool = False) -> "ExecutionContext":
-        """Same backend/workers/pool/arena/tracer, fresh books and timers."""
+        """Same backend/workers/pool/arena/tracer/fault state, fresh
+        books and timers."""
         return ExecutionContext(backend=self.backend, workers=self.workers,
                                 cost=cost, mem=mem, crew=crew,
                                 trace=self.tracer,
@@ -257,6 +359,11 @@ class ExecutionContext:
 
         Arrays an engine rebuilds every round (frontiers, batches) need
         no ``share``: :meth:`map_chunks` uploads them per round.
+
+        Arena views stay valid across a degradation (the arena lives
+        until :meth:`close`), so an engine that shared its state on the
+        process backend keeps running unchanged after a mid-run
+        degradation to threaded or serial.
         """
         if self.backend != "process" or self.workers <= 1:
             return arr
@@ -296,119 +403,32 @@ class ExecutionContext:
         :class:`~repro.runtime.kernels.Kernel` descriptor (serial and
         threaded accept descriptors too and just call them).
 
-        A chunk that raises aborts the round as a :class:`ChunkError`
-        naming the chunk's range; pending chunks are cancelled and
-        running ones drained before the error propagates.
+        ``fn`` must be *pure over [lo, hi)* — it may read shared state
+        but must not mutate it (every engine in this library combines
+        chunk results on the coordinator).  That purity is what makes
+        recovery invisible: a failed chunk is retried with backoff, a
+        dead worker's chunks are re-dispatched after a pool respawn (or
+        on a degraded backend), stragglers past the round deadline are
+        cancelled and re-run — and the returned list is bit-identical
+        to the undisturbed run.  Only when the retry budget is spent
+        does the round abort as a :class:`ChunkError` naming the
+        (round, chunk) coordinates; the wave's pending chunks are
+        cancelled and running ones drained before the error propagates.
         """
-        if self.backend == "serial" or self.workers <= 1:
-            chunks = split_chunks(n, 1)
-            pool = None
-        else:
-            target = self.workers * CHUNKS_PER_WORKER
-            if weights is not None and self.weighted_chunks:
-                chunks = split_chunks_weighted(n, target, weights)
-            else:
-                chunks = split_chunks(n, target)
-            pool = None
-            if len(chunks) > 1:
-                pool = self._acquire_procpool() \
-                    if self.backend == "process" else self._acquire_pool()
-        if self.backend == "process" and pool is not None:
-            if not isinstance(fn, Kernel):
-                raise TypeError(
-                    "the process backend runs picklable kernel "
-                    "descriptors, not closures: pass a "
-                    "repro.runtime.kernels.Kernel to map_chunks "
-                    "(serial/threaded accept any callable)")
-            if self.tracer.enabled:
-                return self._run_procpool_traced(pool, fn, chunks, n)
-            return self._run_procpool(pool, fn, chunks, n, timed=False)
-        if self.tracer.enabled:
-            return self._map_chunks_traced(fn, n, chunks, pool)
-        if pool is None:
-            return self._run_inline(fn, chunks, n)
-        return self._run_pooled(pool, fn, chunks, n)
-
-    def _run_inline(self, fn, chunks, n: int) -> list:
-        out = []
-        for lo, hi in chunks:
-            try:
-                out.append(fn(lo, hi))
-            except Exception as exc:
-                raise ChunkError(f"map_chunks chunk [{lo}, {hi}) of "
-                                 f"{n} items failed: {exc}") from exc
-        return out
-
-    def _collect(self, futures, chunks, n: int) -> list:
-        """Gather futures in chunk order with ChunkError semantics."""
-        out = []
-        try:
-            for (lo, hi), f in zip(chunks, futures):
-                try:
-                    out.append(f.result())
-                except Exception as exc:
-                    raise ChunkError(f"map_chunks chunk [{lo}, {hi}) of "
-                                     f"{n} items failed: {exc}") from exc
-        except ChunkError:
-            for f in futures:
-                f.cancel()
-            for f in futures:  # drain running chunks before re-raising
-                if not f.cancelled():
-                    try:
-                        f.exception()
-                    except BaseException:
-                        pass
-            raise
-        return out
-
-    def _run_pooled(self, pool, fn, chunks, n: int) -> list:
-        futures = [pool.submit(fn, lo, hi) for lo, hi in chunks]
-        return self._collect(futures, chunks, n)
-
-    def _run_procpool(self, pool, kern: Kernel, chunks, n: int,
-                      timed: bool) -> list:
-        """Ship a kernel descriptor's chunks to the worker pool.
-
-        Arrays are adopted into the shared arena first: zero-copy for
-        arrays the engine holds as arena views (see :meth:`share`), one
-        memcpy for per-round arrays.  Workers receive only the kernel
-        name, the array specs, the scalars, and the chunk bounds.
-        """
-        arena = self._acquire_arena()
-        specs = {key: arena.adopt(f"{kern.ns}:{key}", arr)
-                 for key, arr in kern.arrays.items()}
-        futures = [pool.submit(run_kernel_task, kern.name, specs,
-                               kern.scalars, lo, hi, timed)
-                   for lo, hi in chunks]
-        return self._collect(futures, chunks, n)
-
-    def _map_chunks_traced(self, fn, n: int, chunks, pool) -> list:
-        """Traced twin of the hot paths: per-chunk span events (worker
-        id, chunk size) plus one round event with the max/mean chunk
-        wall imbalance summary.  Results are identical to the untraced
-        paths — tracing only observes."""
-        import threading
-
+        host = self._pool_host
+        host._round_seq += 1
+        rid = host._round_seq
         tracer = self.tracer
-        self._round_seq += 1
-        rid = self._round_seq
+        if not tracer.enabled:
+            return self._run_round(fn, n, weights, rid, None)
+        # Traced twin: per-chunk span events (worker id, chunk size)
+        # plus one round event with the max/mean chunk-wall imbalance.
+        # Results are identical — tracing only observes.
         phase = self._phase_stack[-1][0] if self._phase_stack else None
         records: list[tuple] = []  # GIL-atomic appends from workers
-
-        def timed(lo: int, hi: int):
-            c0 = tracer.now()
-            res = fn(lo, hi)
-            records.append((lo, hi, c0, tracer.now(),
-                            threading.get_ident()))
-            return res
-
         t0 = tracer.now()
-        if pool is None:
-            out = self._run_inline(timed, chunks, n)
-        else:
-            out = self._run_pooled(pool, timed, chunks, n)
+        out = self._run_round(fn, n, weights, rid, records)
         t1 = tracer.now()
-
         walls = []
         for lo, hi, c0, c1, ident in sorted(records):
             tracer.record(f"chunk[{lo}:{hi})", "chunk", c0, c1, tid=ident,
@@ -417,33 +437,312 @@ class ExecutionContext:
         self._record_round(rid, phase, t0, t1, n, walls)
         return out
 
-    def _run_procpool_traced(self, pool, kern: Kernel, chunks,
-                             n: int) -> list:
-        """Traced twin of the process path: chunk walls are measured
-        *inside* the workers (real pids as worker ids) and mapped onto
-        the tracer's timeline; results are identical to the untraced
-        path."""
+    def _plan_chunks(self, n: int, weights) -> list[tuple[int, int]]:
+        if self.backend == "serial" or self.workers <= 1:
+            return split_chunks(n, 1)
+        target = self.workers * CHUNKS_PER_WORKER
+        if weights is not None and self.weighted_chunks:
+            return split_chunks_weighted(n, target, weights)
+        return split_chunks(n, target)
+
+    def _run_round(self, fn, n: int, weights, rid: int,
+                   records: list | None) -> list:
+        """One round: dispatch waves until every chunk has a result.
+
+        The chunk boundaries are planned once, on the backend the round
+        started on, and never move afterwards — recovery (retry waves,
+        pool respawns, even a mid-round degradation) re-dispatches the
+        *same* spans, so partial results combine in the same order.
+        """
+        chunks = self._plan_chunks(n, weights)
+        if not chunks:
+            return []
+        results = [_PENDING] * len(chunks)
+        attempts = [0] * len(chunks)
+        todo = list(range(len(chunks)))
+        while todo:
+            wave, todo = todo, []
+            backend = self.backend
+            pooled = backend != "serial" and self.workers > 1 \
+                and len(chunks) > 1
+            if pooled and backend == "process":
+                if not isinstance(fn, Kernel):
+                    raise TypeError(
+                        "the process backend runs picklable kernel "
+                        "descriptors, not closures: pass a "
+                        "repro.runtime.kernels.Kernel to map_chunks "
+                        "(serial/threaded accept any callable)")
+                dead = self._wave_process(fn, chunks, wave, todo, results,
+                                          attempts, n, rid, records)
+            elif pooled:
+                dead = self._wave_threaded(fn, chunks, wave, todo, results,
+                                           attempts, n, rid, records)
+            else:
+                dead = self._wave_inline(fn, chunks, wave, results,
+                                         attempts, n, rid, records)
+            if dead:
+                self._pool_failure(rid)
+        return results
+
+    def _call_chunk(self, fn, lo: int, hi: int, fault, records):
+        if fault is not None:
+            apply_fault(fault)
+        if records is None:
+            return fn(lo, hi)
         tracer = self.tracer
-        self._round_seq += 1
-        rid = self._round_seq
-        phase = self._phase_stack[-1][0] if self._phase_stack else None
+        c0 = tracer.now()
+        res = fn(lo, hi)
+        records.append((lo, hi, c0, tracer.now(), threading.get_ident()))
+        return res
 
-        t0 = tracer.now()
-        packed = self._run_procpool(pool, kern, chunks, n, timed=True)
-        t1 = tracer.now()
-        # Workers time with perf_counter; anchor their absolute stamps
-        # to this tracer's epoch (same monotonic clock on one host).
-        epoch = time.perf_counter() - tracer.now()
+    def _wave_inline(self, fn, chunks, wave, results, attempts,
+                     n: int, rid: int, records) -> bool:
+        """Inline wave (serial backend, 1 worker, or a 1-chunk round):
+        each chunk retries in place.  An injected WorkerDeath has no
+        pool to kill here, so it consumes retry budget like any other
+        chunk failure — the bottom of the degradation ladder."""
+        for ci in wave:
+            lo, hi = chunks[ci]
+            while True:
+                attempts[ci] += 1
+                fault = self._draw_fault(rid, ci, attempts[ci])
+                try:
+                    results[ci] = self._call_chunk(fn, lo, hi, fault,
+                                                   records)
+                    break
+                except Exception as exc:
+                    self._retry_or_raise(ci, chunks[ci], attempts[ci],
+                                         n, rid, exc)
+        return False
 
-        out, walls = [], []
-        for (lo, hi), (res, c0, c1, pid) in zip(chunks, packed):
-            out.append(res)
-            tracer.record(f"chunk[{lo}:{hi})", "chunk",
-                          c0 - epoch, c1 - epoch, tid=pid,
-                          round=rid, size=hi - lo, phase=phase)
-            walls.append(c1 - c0)
-        self._record_round(rid, phase, t0, t1, n, walls)
-        return out
+    def _wave_threaded(self, fn, chunks, wave, todo, results, attempts,
+                       n: int, rid: int, records) -> bool:
+        pool = self._acquire_pool()
+        futs = {}
+        for ci in wave:
+            attempts[ci] += 1
+            fault = self._draw_fault(rid, ci, attempts[ci])
+            lo, hi = chunks[ci]
+            futs[pool.submit(self._call_chunk, fn, lo, hi, fault,
+                             records)] = ci
+        return self._collect_wave(futs, chunks, todo, results, attempts,
+                                  n, rid, broken=WorkerDeath,
+                                  finish=results.__setitem__)
+
+    def _wave_process(self, kern: Kernel, chunks, wave, todo, results,
+                      attempts, n: int, rid: int, records) -> bool:
+        """Ship a kernel descriptor's chunks to the worker pool.
+
+        Arrays are adopted into the shared arena first: zero-copy for
+        arrays the engine holds as arena views (see :meth:`share`), one
+        memcpy for per-round arrays.  Workers receive only the kernel
+        name, the array specs, the scalars, the chunk bounds, and (for
+        chaos runs) the fault directive drawn for this dispatch.
+        """
+        pool = self._acquire_procpool()
+        arena = self._acquire_arena()
+        specs = {key: arena.adopt(f"{kern.ns}:{key}", arr)
+                 for key, arr in kern.arrays.items()}
+        timed = records is not None
+        if timed:
+            # Workers time with perf_counter; anchor their absolute
+            # stamps to this tracer's epoch (same monotonic clock).
+            epoch = time.perf_counter() - self.tracer.now()
+
+            def finish(ci, packed):
+                res, c0, c1, pid = packed
+                lo, hi = chunks[ci]
+                records.append((lo, hi, c0 - epoch, c1 - epoch, pid))
+                results[ci] = res
+        else:
+            finish = results.__setitem__
+        futs = {}
+        dead = False
+        for i, ci in enumerate(wave):
+            attempts[ci] += 1
+            fault = self._draw_fault(rid, ci, attempts[ci])
+            lo, hi = chunks[ci]
+            try:
+                futs[pool.submit(run_kernel_task, kern.name, specs,
+                                 kern.scalars, lo, hi, timed, fault)] = ci
+            except BrokenProcessPool:
+                # A worker death can be noticed *while* the wave is
+                # still being submitted; requeue this chunk and every
+                # unsubmitted sibling, then collect what got out.
+                dead = True
+                todo.extend(wave[i:])
+                break
+        return self._collect_wave(futs, chunks, todo, results, attempts,
+                                  n, rid, broken=BrokenProcessPool,
+                                  finish=finish) or dead
+
+    def _collect_wave(self, futs, chunks, todo, results, attempts,
+                      n: int, rid: int, broken, finish) -> bool:
+        """Collect one dispatch wave with the full recovery policy.
+
+        ``broken`` is the exception class that means "the worker died"
+        (vs. "the chunk failed"): dead chunks go back on ``todo``
+        without burning retry budget — the respawn/degradation budget
+        bounds them instead.  Returns whether the pool must be
+        recycled.
+        """
+        host = self._pool_host
+        dead = False
+        pending = set(futs)
+        deadline = None
+        if host._round_timeout:
+            deadline = time.monotonic() + host._round_timeout
+        while pending:
+            timeout = None
+            if deadline is not None:
+                timeout = max(0.0, deadline - time.monotonic())
+            done, pending = wait(pending, timeout=timeout)
+            if not done and pending:
+                self._expire_wave(pending, futs, chunks, todo, attempts,
+                                  n, rid)
+                break
+            for f in done:
+                ci = futs[f]
+                try:
+                    res = f.result()
+                except broken:
+                    dead = True
+                    todo.append(ci)
+                except Exception as exc:
+                    self._retry_or_raise(ci, chunks[ci], attempts[ci],
+                                         n, rid, exc, pending)
+                    todo.append(ci)
+                else:
+                    finish(ci, res)
+        return dead
+
+    def _expire_wave(self, pending, futs, chunks, todo, attempts,
+                     n: int, rid: int) -> None:
+        """The round deadline passed: cancel every straggler and requeue
+        it (running chunks cannot be interrupted, but they are pure —
+        their late results are simply discarded)."""
+        for f in pending:
+            f.cancel()
+        for f in pending:
+            ci = futs[f]
+            self._fault_count("fault.timeouts", rid)
+            if self.tracer.enabled:
+                self.tracer.instant("fault.timeout", round=rid, chunk=ci)
+            if attempts[ci] > self._pool_host._retries:
+                lo, hi = chunks[ci]
+                raise ChunkError(
+                    f"map_chunks round {rid} chunk {ci} [{lo}, {hi}) of "
+                    f"{n} items timed out after {attempts[ci]} attempt(s)")
+            todo.append(ci)
+
+    def _retry_or_raise(self, ci: int, span, attempt: int, n: int,
+                        rid: int, exc, pending=()) -> None:
+        """Charge one failed attempt: back off and return (the caller
+        requeues the chunk), or abort the wave as a ChunkError."""
+        lo, hi = span
+        if attempt > self._pool_host._retries:
+            self._abort_wave(pending)
+            raise ChunkError(
+                f"map_chunks round {rid} chunk {ci} [{lo}, {hi}) of {n} "
+                f"items failed after {attempt} attempt(s): {exc}") from exc
+        self._fault_count("fault.retries", rid)
+        backoff = self._pool_host._backoff
+        if backoff > 0:
+            time.sleep(min(MAX_BACKOFF, backoff * (2 ** (attempt - 1))))
+
+    @staticmethod
+    def _abort_wave(pending) -> None:
+        """Cancel what has not started, drain what is running — after
+        this returns, no chunk of the aborted wave is still executing,
+        so nothing can race a later round."""
+        for f in pending:
+            f.cancel()
+        for f in pending:
+            if not f.cancelled():
+                try:
+                    f.exception()
+                except BaseException:
+                    pass
+
+    def _pool_failure(self, rid: int) -> None:
+        """A worker died: recycle the pool, then respawn or degrade.
+
+        The broken pool is torn down either way.  While the respawn
+        budget lasts, the next wave lazily re-creates a pool on the
+        same backend and re-dispatches only the lost chunks; after
+        that, the run degrades one backend level (process -> threaded
+        -> serial) and the budget resets for the new backend.  The
+        arena is *not* torn down — existing shared views stay valid on
+        the degraded backend.
+        """
+        host = self._pool_host
+        backend = host._backend
+        if backend == "serial":  # nothing below serial; inline retries
+            return
+        if host._procpool is not None:
+            host._procpool.shutdown(wait=False)
+            host._procpool = None
+        if host._pool is not None:
+            host._pool.shutdown(wait=False, cancel_futures=True)
+            host._pool = None
+        if host._respawns < host._max_respawns:
+            host._respawns += 1
+            self._fault_count("fault.respawns", rid)
+            self._fault_event({"kind": "respawn", "backend": backend,
+                               "round": rid})
+            return
+        lower = BACKENDS[BACKENDS.index(backend) - 1]
+        host._backend = lower
+        host._respawns = 0
+        self._fault_count("fault.degradations", rid)
+        self._fault_event({"kind": "degrade", "from": backend,
+                           "to": lower, "round": rid})
+
+    # -- fault bookkeeping ---------------------------------------------------
+
+    def _draw_fault(self, rid: int, ci: int, attempt: int):
+        plan = self._pool_host._faultplan
+        if plan is None:
+            return None
+        spec = plan.draw(rid, ci, attempt)
+        if spec is not None:
+            self._fault_count(f"fault.injected.{spec.kind}", rid)
+            if self.tracer.enabled:
+                self.tracer.instant(f"fault.{spec.kind}", round=rid,
+                                    chunk=ci, attempt=attempt)
+        return spec
+
+    def _fault_count(self, name: str, rid: int) -> None:
+        host = self._pool_host
+        host._fault_stats[name] = host._fault_stats.get(name, 0) + 1
+        if self.tracer.enabled:
+            self.tracer.count(name, 1, round=rid)
+
+    def _fault_event(self, event: dict) -> None:
+        host = self._pool_host
+        host._fault_events.append(event)
+        if self.tracer.enabled:
+            self.tracer.instant(f"fault.{event['kind']}", **{
+                k: v for k, v in event.items() if k != "kind"})
+
+    def fault_record(self) -> dict | None:
+        """Digest of the run's fault activity, or ``None`` for a quiet
+        run with no plan (the common case — keeps result rows clean).
+
+        ``counters`` are the run-wide ``fault.*`` totals (injections,
+        retries, timeouts, respawns, degradations); ``events`` the
+        ordered respawn/degradation log; ``plan`` the injection plan's
+        own digest (clause count, seed, events fired per kind) when one
+        was attached.
+        """
+        host = self._pool_host
+        if host._faultplan is None and not host._fault_stats \
+                and not host._fault_events:
+            return None
+        return {"counters": dict(host._fault_stats),
+                "events": list(host._fault_events),
+                "plan": host._faultplan.describe()
+                if host._faultplan is not None else None}
 
     def _record_round(self, rid: int, phase, t0: float, t1: float,
                       n: int, walls: list) -> None:
@@ -503,19 +802,20 @@ def resolve_context(ctx: ExecutionContext | None,
                     mem: MemoryModel | None = None,
                     crew: bool = False,
                     trace=None,
-                    weighted_chunks: bool | None = None) -> \
-        tuple[ExecutionContext, bool]:
+                    weighted_chunks: bool | None = None,
+                    faults=None) -> tuple[ExecutionContext, bool]:
     """Return ``(context, owns)`` for an engine entry point.
 
     When the caller supplied a context it is used as-is (``owns`` False:
     the caller manages the pool); otherwise a fresh one is built from
-    ``backend``/``workers``/``trace``/accounting arguments and ``owns``
-    is True — the engine must ``close()`` it (or use it as a context
-    manager).
+    ``backend``/``workers``/``trace``/``faults``/accounting arguments
+    and ``owns`` is True — the engine must ``close()`` it (or use it as
+    a context manager).
     """
     if ctx is not None:
         return ctx, False
     return ExecutionContext(backend=backend, workers=workers,
                             cost=cost, mem=mem, crew=crew,
                             trace=trace,
-                            weighted_chunks=weighted_chunks), True
+                            weighted_chunks=weighted_chunks,
+                            faults=faults), True

@@ -23,7 +23,12 @@ wrap one round as a :class:`Kernel` descriptor (kernel name + namespace
 One function per round on every backend is what makes the bit-identical
 contract easy to keep: there is no second implementation to drift.
 Kernels never mutate shared arrays — they return chunk results and the
-coordinator combines them in chunk order.
+coordinator combines them in chunk order.  That purity is also what the
+fault layer (:mod:`repro.runtime.faults`) leans on: a kernel chunk can
+be retried after a failure, re-dispatched after a worker death, or
+re-run on a degraded backend, and it recomputes exactly the same result
+— so recovery never perturbs colors, rounds, or the accounting books.
+Any new kernel added to :data:`KERNELS` must keep this property.
 """
 
 from __future__ import annotations

@@ -167,16 +167,26 @@ def _pool_worker_init(extra_sys_path: list[str]) -> None:
 
 
 def run_kernel_task(kernel_name: str, specs: dict, scalars: dict,
-                    lo: int, hi: int, timed: bool):
+                    lo: int, hi: int, timed: bool, fault=None):
     """Execute one chunk of a kernel descriptor inside a worker.
 
     With ``timed`` the chunk wall and the worker's pid ride back for
     the tracer (perf_counter is monotonic system-wide on the platforms
     the process backend targets, so the coordinator can place the span
     on its own timeline).
+
+    ``fault`` is an optional :class:`~repro.runtime.faults.FaultSpec`
+    drawn by the coordinator for this dispatch: applied *in the
+    worker*, so an injected ``kill`` is a real ``os._exit`` (the
+    coordinator observes a broken pool, exactly like an OOM-killed
+    worker), a ``delay`` stalls the worker, and an ``error`` raises
+    from inside the chunk.
     """
     from .kernels import KERNELS
 
+    if fault is not None:
+        from .faults import worker_apply
+        worker_apply(fault)
     a = {name: _view(spec) for name, spec in specs.items()}
     fn = KERNELS[kernel_name]
     if not timed:

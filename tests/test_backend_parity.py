@@ -128,6 +128,48 @@ class TestWeightedChunkingParity:
         assert on.mem.total == off.mem.total
 
 
+class TestDegradationParity:
+    """Forced mid-algorithm backend degradation keeps bit parity.
+
+    With ``max_respawns=0`` a single injected worker death drops the
+    run one backend level; chunk boundaries were planned before the
+    fault, so the combine order — hence colors, rounds, and books — is
+    untouched.  ``ColoringResult.backend`` records where the run
+    *finished* and the degradation event is on the fault record.
+    """
+
+    DEGRADE_ROWS = [("process", 2, "threaded"), ("threaded", 4, "serial")]
+
+    @pytest.mark.parametrize("backend,workers,lower", DEGRADE_ROWS,
+                             ids=["process-to-threaded",
+                                  "threaded-to-serial"])
+    def test_degraded_run_matches_serial(self, parity_graph, backend,
+                                         workers, lower):
+        serial = jp_by_name(parity_graph, "ADG", seed=0, eps=0.1)
+        with ExecutionContext(backend=backend, workers=workers,
+                              faults="kill@4.0", max_respawns=0) as ctx:
+            degraded = jp_by_name(parity_graph, "ADG", seed=0, eps=0.1,
+                                  ctx=ctx)
+        _assert_result_parity(serial, degraded, lower, workers)
+        rec = degraded.faults
+        assert rec["counters"]["fault.degradations"] == 1
+        events = [e for e in rec["events"] if e["kind"] == "degrade"]
+        assert events == [{"kind": "degrade", "from": backend,
+                           "to": lower, "round": 4}]
+
+    def test_double_degradation_lands_on_serial(self, parity_graph):
+        serial = jp_by_name(parity_graph, "ADG", seed=0, eps=0.1)
+        with ExecutionContext(backend="process", workers=2,
+                              faults="kill@3.0;kill@6.0",
+                              max_respawns=0) as ctx:
+            degraded = jp_by_name(parity_graph, "ADG", seed=0, eps=0.1,
+                                  ctx=ctx)
+        _assert_result_parity(serial, degraded, "serial", 2)
+        path = [(e["from"], e["to"]) for e in degraded.faults["events"]
+                if e["kind"] == "degrade"]
+        assert path == [("process", "threaded"), ("threaded", "serial")]
+
+
 class TestRegistryParity:
     @pytest.mark.parametrize("name", sorted(BACKEND_AWARE))
     def test_every_backend_aware_algorithm(self, name):

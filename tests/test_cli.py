@@ -160,7 +160,8 @@ class TestProfileCommand:
         assert main(["profile", "--gen", "gnm:150,500", "--algorithm",
                      "JP-ADG", "--json"]) == 0
         out = json.loads(capsys.readouterr().out)
-        assert set(out) == {"summary", "phases", "rounds", "imbalance"}
+        assert set(out) == {"summary", "phases", "rounds", "imbalance",
+                            "faults"}
         assert out["summary"]["algorithm"] == "JP-ADG"
         assert {r["phase"] for r in out["phases"]} >= {"jp:dag", "jp:color"}
         assert any("jp.colored" in r for r in out["rounds"])

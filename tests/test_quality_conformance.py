@@ -1,0 +1,87 @@
+"""Conformance sweep: measured quality vs the paper's proven bounds.
+
+Tables II/III state worst-case color counts in terms of the degeneracy
+d: JP-ADG <= 2(1+eps)d + 1, JP-ADG-M <= 4d + 1, DEC-ADG <= (2+eps)d,
+DEC-ADG-ITR <= 2(1+eps)d + 1.  This suite sweeps seeds and structurally
+different graph families — a ring (d = 2), uniform G(n, m), and a
+skewed Kronecker graph — and asserts every run stays within its bound
+and is a valid coloring (explicit neighbor scan, not just the library
+verifier).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import GraphParams, quality_bound
+from repro.coloring.registry import color
+from repro.coloring.verify import assert_valid_coloring
+from repro.graphs.generators import gnm_random, kronecker, ring
+from repro.graphs.properties import degeneracy
+
+SEEDS = [0, 1, 2]
+
+#: family name -> graph builder (the structural sweep axis).
+FAMILIES = {
+    "ring": lambda seed: ring(200),
+    "gnm": lambda seed: gnm_random(300, 1200, seed=seed),
+    "kronecker": lambda seed: kronecker(scale=8, edge_factor=8, seed=seed),
+}
+
+#: algorithm -> the eps its bound is stated at (DEC-ADG runs with its
+#: default eps=6.0 SIM-COL slack; the others with the default 0.01).
+BOUNDED = {
+    "JP-ADG": 0.01,
+    "JP-ADG-M": 0.01,
+    "DEC-ADG": 6.0,
+    "DEC-ADG-ITR": 0.01,
+}
+
+
+def _params(g) -> GraphParams:
+    return GraphParams(n=g.n, m=g.m, max_degree=g.max_degree,
+                       degeneracy=degeneracy(g))
+
+
+def _assert_neighbors_differ(g, colors) -> None:
+    """Explicit per-edge check straight off the CSR arrays."""
+    for v in range(g.n):
+        nbrs = g.indices[g.indptr[v]:g.indptr[v + 1]]
+        assert not np.any(colors[nbrs] == colors[v]), \
+            f"vertex {v} shares its color with a neighbor"
+
+
+class TestQualityConformance:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("algorithm", sorted(BOUNDED))
+    def test_within_paper_bound(self, algorithm, family, seed):
+        g = FAMILIES[family](seed)
+        res = color(algorithm, g, seed=seed)
+        params = _params(g)
+        bound = quality_bound(algorithm, params, eps=BOUNDED[algorithm])
+        assert res.num_colors <= bound, (
+            f"{algorithm} on {family}(seed={seed}): {res.num_colors} "
+            f"colors > proven bound {bound} (d={params.degeneracy})")
+        assert_valid_coloring(g, res.colors)
+        _assert_neighbors_differ(g, res.colors)
+        # Colors are 1-based and every vertex got one.
+        assert int(res.colors.min()) >= 1
+
+    @pytest.mark.parametrize("eps", [0.01, 0.25, 1.0])
+    def test_jp_adg_bound_tracks_eps(self, eps):
+        g = gnm_random(300, 1500, seed=4)
+        res = color("JP-ADG", g, seed=4, eps=eps)
+        bound = quality_bound("JP-ADG", _params(g), eps=eps)
+        assert res.num_colors <= bound
+        assert_valid_coloring(g, res.colors)
+
+    def test_ring_degeneracy_bound_is_tight_family(self):
+        """d = 2 on a ring, so JP-ADG may use at most 2(1.01)(2)+1 = 6
+        colors — far below Delta-based schemes' worst case on skewed
+        graphs; the sweep's point is that the d-based bound holds even
+        when Delta >> d (kronecker)."""
+        g = FAMILIES["kronecker"](0)
+        params = _params(g)
+        assert params.max_degree > 3 * params.degeneracy  # genuinely skewed
+        res = color("JP-ADG", g, seed=0)
+        assert res.num_colors <= quality_bound("JP-ADG", params, eps=0.01)
