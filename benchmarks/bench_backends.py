@@ -14,6 +14,13 @@ recorded number is the per-run marginal cost.  ``cpu_count`` rides
 along in the report — on a single-core box the process backend cannot
 beat serial and the numbers say so honestly.
 
+Backend rows run with ``adaptive='off'``: this file measures the *raw*
+backend tax (the thing adaptive dispatch is built to avoid — see
+``bench_dispatch.py`` for the adaptive A/B).  Each parallel row also
+records ``dispatch_overhead_s``, the mean per-round dispatch + combine
+overhead (round wall minus its slowest chunk) from a traced run — the
+measured quantity the adaptive estimator's ``dispatch_s`` models.
+
 Runnable standalone (no pytest)::
 
     PYTHONPATH=src python benchmarks/bench_backends.py [OUT.json]
@@ -57,9 +64,33 @@ def _best_wall(fn) -> float:
     return best
 
 
+def round_dispatch_overhead(g, backend: str, workers: int,
+                            adaptive: str = "off") -> float | None:
+    """Mean per-round dispatch + combine overhead from one traced run.
+
+    For every multi-chunk round, the round wall minus its slowest
+    chunk's wall is time the pool added on top of perfectly-overlapped
+    kernel work (submission, marshalling, combine); ``None`` on serial
+    or when no round dispatched.
+    """
+    if backend == "serial":
+        return None
+    tracer = Tracer()
+    with ExecutionContext(backend=backend, workers=workers,
+                          adaptive=adaptive, trace=tracer) as ctx:
+        jp_by_name(g, "ADG", seed=0, ctx=ctx)
+    overheads = [e.dur - e.args["max_chunk_s"]
+                 for e in tracer.spans(cat="round")
+                 if e.args.get("chunks", 0) > 1]
+    if not overheads:
+        return None
+    return round(sum(overheads) / len(overheads), 6)
+
+
 def measure_wall(g, backend: str, workers: int) -> dict:
     """Steady-state JP-ADG wall on one backend (pool paid by warm-up)."""
-    with ExecutionContext(backend=backend, workers=workers) as ctx:
+    with ExecutionContext(backend=backend, workers=workers,
+                          adaptive="off") as ctx:
         def run():
             return jp_by_name(g, "ADG", seed=0, ctx=ctx)
 
@@ -70,6 +101,7 @@ def measure_wall(g, backend: str, workers: int) -> dict:
         "backend": backend, "workers": workers,
         "repeats": REPEATS,
         "wall_s": round(wall, 6),
+        "dispatch_overhead_s": round_dispatch_overhead(g, backend, workers),
     }
 
 
@@ -83,7 +115,7 @@ def measure_imbalance(g, backend: str = "threaded", workers: int = 4) -> dict:
     digests = {}
     for weighted in (False, True):
         with ExecutionContext(backend=backend, workers=workers,
-                              weighted_chunks=weighted,
+                              weighted_chunks=weighted, adaptive="off",
                               trace=Tracer()) as ctx:
             jp_by_name(g, "ADG", seed=0, ctx=ctx)
             digests[weighted] = ctx.trace_summary()["imbalance"]
@@ -131,8 +163,10 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     for row in walls:
+        over = row.get("dispatch_overhead_s")
+        extra = f" ({over*1e6:.0f} us/round dispatch)" if over else ""
         print(f"{row['graph']}: {row['backend']}/{row['workers']} "
-              f"{row['wall_s']*1e3:.1f} ms")
+              f"{row['wall_s']*1e3:.1f} ms{extra}")
     for row in balance:
         print(f"{row['graph']}: imbalance uniform "
               f"{row['imbalance_uniform']['mean']:.3f} -> weighted "

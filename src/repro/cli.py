@@ -99,6 +99,8 @@ def cmd_color(args: argparse.Namespace) -> int:
                                   for k, v in res.phase_walls.items()}
         if res.faults is not None:
             summary["faults"] = res.faults
+        if res.dispatch is not None:
+            summary["dispatch"] = res.dispatch
         print(json.dumps(summary))
     else:
         print(format_table([summary]))
@@ -252,6 +254,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     """Trace one run and print its per-phase / per-round breakdown."""
     from .obs import (
         Tracer,
+        dispatch_breakdown,
         fault_breakdown,
         imbalance_breakdown,
         phase_breakdown,
@@ -273,10 +276,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
     rounds = round_breakdown(tracer)
     imbalance = imbalance_breakdown(tracer)
     faults = fault_breakdown(res)
+    dispatch = dispatch_breakdown(res)
     if args.json:
         print(json.dumps({"summary": summary, "phases": phases,
                           "rounds": rounds, "imbalance": imbalance,
-                          "faults": faults}))
+                          "faults": faults, "dispatch": dispatch}))
     else:
         print(format_table([summary]))
         print("\n== per-phase breakdown (exclusive wall) ==")
@@ -290,6 +294,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
         if faults:
             print("\n== fault recovery ==")
             print(format_table(faults))
+        if dispatch:
+            print("\n== adaptive dispatch ==")
+            print(format_table(dispatch))
     flush_trace(tracer)
     return 0
 
@@ -327,6 +334,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "seed=7' (same grammar as $REPRO_FAULTS); "
                             "results are bit-identical to a fault-free "
                             "run")
+        p.add_argument("--adaptive",
+                       choices=["on", "off", "inline", "parallel"],
+                       default=None,
+                       help="adaptive round dispatch (default: "
+                            "$REPRO_ADAPTIVE or on): inline rounds too "
+                            "small to amortize their dispatch overhead; "
+                            "colors are identical in every mode")
 
     p_color = sub.add_parser("color", help="run a coloring algorithm")
     common(p_color)
@@ -372,13 +386,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if getattr(args, "faults", None):
-        # The runtime reads $REPRO_FAULTS wherever a context is built
-        # (including child contexts and the bench harness), so the env
-        # var is the one seam that covers every subcommand.
-        import os
-        os.environ["REPRO_FAULTS"] = args.faults
-    return args.fn(args)
+    # The runtime reads $REPRO_FAULTS / $REPRO_ADAPTIVE wherever a
+    # context is built (including child contexts and the bench
+    # harness), so the env vars are the one seam that covers every
+    # subcommand; restored afterwards so in-process callers (tests)
+    # are not polluted.
+    import os
+    saved: dict[str, str | None] = {}
+    for flag, env in (("faults", "REPRO_FAULTS"),
+                      ("adaptive", "REPRO_ADAPTIVE")):
+        value = getattr(args, flag, None)
+        if value:
+            saved[env] = os.environ.get(env)
+            os.environ[env] = value
+    try:
+        return args.fn(args)
+    finally:
+        for env, old in saved.items():
+            if old is None:
+                os.environ.pop(env, None)
+            else:
+                os.environ[env] = old
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -52,8 +52,13 @@ def partition_constraints(indptr: np.ndarray, indices: np.ndarray,
                           "indptr": indptr, "indices": indices,
                           "colors": colors},
                   scalars={"level": int(level)})
-    results = ctx.map_chunks(kern, verts.size,
-                             weights=indptr[verts + 1] - indptr[verts])
+    ws = ctx.scratch
+    w = np.take(indptr[1:], verts,
+                out=ws.take("dec.w", verts.size, indptr.dtype))
+    w_lo = np.take(indptr, verts,
+                   out=ws.take("dec.wlo", verts.size, indptr.dtype))
+    np.subtract(w, w_lo, out=w)
+    results = ctx.map_chunks(kern, verts.size, weights=w)
     counts_ge = np.concatenate([r[0] for r in results]) if results else \
         np.empty(0, dtype=np.int64)
     owners = np.concatenate([r[1] for r in results]) if results else \
@@ -154,7 +159,8 @@ def dec_adg(g: CSRGraph, eps: float = 6.0, seed: int | None = 0,
                               backend=ctx.backend, workers=ctx.workers,
                               phase_walls=dict(ctx.wall_by_phase),
                               trace_summary=ctx.trace_summary(),
-                              faults=ctx.fault_record())
+                              faults=ctx.fault_record(),
+                              dispatch=ctx.dispatch_record())
     finally:
         if owns:
             ctx.close()

@@ -76,10 +76,16 @@ def _itr_partition(part: CSRGraph, forbidden: np.ndarray,
                       arrays={"active": active, "colors": colors,
                               "still": still, "priority": priority,
                               "indptr": indptr, "indices": indices})
-        results = ctx.map_chunks(kern, active.size,
-                                 weights=indptr[active + 1] - indptr[active])
-        lost = np.concatenate([r[0] for r in results]) if results else \
-            np.empty(0, dtype=bool)
+        ws = ctx.scratch
+        conf_w = np.take(indptr[1:], active,
+                         out=ws.take("itr.w", active.size, indptr.dtype))
+        w_lo = np.take(indptr, active,
+                       out=ws.take("itr.wlo", active.size, indptr.dtype))
+        np.subtract(conf_w, w_lo, out=conf_w)
+        results = ctx.map_chunks(kern, active.size, weights=conf_w)
+        lost = ws.take("itr.lost", active.size, bool)
+        if results:
+            np.concatenate([r[0] for r in results], out=lost)
         nbrs_total = sum(r[2].size for r in results)
         md = max((r[3] for r in results), default=0)
         cost.round(nbrs_total + active.size, log2_ceil(max(md, 1)) + 1)
@@ -184,7 +190,8 @@ def dec_adg_itr(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
                               backend=ctx.backend, workers=ctx.workers,
                               phase_walls=dict(ctx.wall_by_phase),
                               trace_summary=ctx.trace_summary(),
-                              faults=ctx.fault_record())
+                              faults=ctx.fault_record(),
+                              dispatch=ctx.dispatch_record())
     finally:
         if owns:
             ctx.close()

@@ -113,6 +113,10 @@ def jp_color(g: CSRGraph, ranks: np.ndarray,
         indices = ctx.share("jp", "indices", g.indices)
         ranks = ctx.share("jp", "ranks", ranks)
         colors = ctx.share("jp", "colors", colors)
+        # Coordinator-side scratch: the wave-weight and successor-join
+        # buffers are rebuilt every wave, so they reuse the context's
+        # arena instead of allocating O(frontier) twice per wave.
+        ws = ctx.scratch
         with ctx.phase("jp:color"):
             while frontier.size:
                 waves += 1
@@ -121,7 +125,13 @@ def jp_color(g: CSRGraph, ranks: np.ndarray,
                                       "ranks": ranks, "colors": colors,
                                       "frontier": frontier})
                 # Hub-heavy waves split by work, not count.
-                wave_w = indptr[frontier + 1] - indptr[frontier]
+                wave_w = np.take(indptr[1:], frontier,
+                                 out=ws.take("jp.wave_w", frontier.size,
+                                             indptr.dtype))
+                starts = np.take(indptr, frontier,
+                                 out=ws.take("jp.wave_s", frontier.size,
+                                             indptr.dtype))
+                np.subtract(wave_w, starts, out=wave_w)
                 results = ctx.map_chunks(kern, frontier.size, weights=wave_w)
                 succs = []
                 nbrs_total = 0
@@ -142,8 +152,10 @@ def jp_color(g: CSRGraph, ranks: np.ndarray,
                     tracer.gauge("jp.wave_degree", int(wave_deg),
                                  round=waves)
                 # Join: notify successors, release the ones that hit zero.
-                succ = np.concatenate(succs) if succs else \
-                    np.empty(0, dtype=np.int64)
+                total = sum(s.size for s in succs)
+                succ = ws.take("jp.succ", total)
+                if total:
+                    np.concatenate(succs, out=succ)
                 frontier = decrement_and_fetch(count, succ, cost=cost)
         colors = ctx.localize(colors)
     finally:
@@ -181,7 +193,8 @@ def jp(g: CSRGraph, ordering: Ordering, use_fused_ranks: bool = True,
                               workers=ctx.workers,
                               phase_walls=dict(ctx.wall_by_phase),
                               trace_summary=ctx.trace_summary(),
-                              faults=ctx.fault_record())
+                              faults=ctx.fault_record(),
+                              dispatch=ctx.dispatch_record())
     finally:
         if owns:
             ctx.close()

@@ -38,6 +38,12 @@ class ColoringResult:
     event log, and the injection plan's own summary.  Note that after a
     backend degradation ``backend`` records the backend the run
     *finished* on; the events list holds where it started.
+
+    ``dispatch`` is ``None`` unless adaptive round dispatch made at
+    least one decision (parallel backend, ``$REPRO_ADAPTIVE`` not
+    ``off``); then it carries the estimator digest — inline/parallel
+    decision counts, the learned per-kernel ``unit_s`` and per-backend
+    ``dispatch_s`` EWMAs, and how each backend's overhead was seeded.
     """
 
     algorithm: str
@@ -55,6 +61,7 @@ class ColoringResult:
     phase_walls: dict[str, float] = field(default_factory=dict)
     trace_summary: dict | None = None
     faults: dict | None = None
+    dispatch: dict | None = None
 
     def __post_init__(self) -> None:
         self.colors = np.asarray(self.colors, dtype=np.int64)

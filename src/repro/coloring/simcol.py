@@ -89,6 +89,7 @@ def sim_col(
         # caller's ``forbidden`` is copied back at the end so the
         # documented in-place contract holds on every backend.
         caller_forbidden = forbidden
+        ws = ctx.scratch  # coordinator buffers reused across rounds
         indptr = ctx.share("simcol", "indptr", part.indptr)
         indices = ctx.share("simcol", "indices", part.indices)
         colors = ctx.share("simcol", "colors", colors)
@@ -114,11 +115,15 @@ def sim_col(
                           arrays={"active": active, "colors": colors,
                                   "still": still_active, "indptr": indptr,
                                   "indices": indices, "forbidden": forbidden})
-            results = ctx.map_chunks(kern, active.size,
-                                     weights=indptr[active + 1]
-                                     - indptr[active])
-            clash = np.concatenate([r[0] for r in results]) if results \
-                else np.empty(0, dtype=bool)
+            trial_w = np.take(indptr[1:], active,
+                              out=ws.take("sc.w", active.size, indptr.dtype))
+            w_lo = np.take(indptr, active,
+                           out=ws.take("sc.wlo", active.size, indptr.dtype))
+            np.subtract(trial_w, w_lo, out=trial_w)
+            results = ctx.map_chunks(kern, active.size, weights=trial_w)
+            clash = ws.take("sc.clash", active.size, bool)
+            if results:
+                np.concatenate([r[0] for r in results], out=clash)
             nbrs_total = sum(r[2].size for r in results)
             md = max((r[3] for r in results), default=0)
             cost.round(nbrs_total + active.size, log2_ceil(max(md, 1)) + 1)

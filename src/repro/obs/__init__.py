@@ -12,6 +12,7 @@ subcommand, or ``$REPRO_TRACE``.
 from .chrome import chrome_trace, write_chrome_trace
 from .metrics import MetricPoint, MetricsRegistry, Series
 from .profile import (
+    dispatch_breakdown,
     fault_breakdown,
     imbalance_breakdown,
     phase_breakdown,
@@ -31,6 +32,7 @@ from .validate import validate_chrome, validate_jsonl, validate_trace_file
 __all__ = [
     "CATEGORIES", "NULL_TRACER", "MetricPoint", "MetricsRegistry",
     "NullTracer", "Series", "SpanEvent", "Tracer", "chrome_trace",
+    "dispatch_breakdown",
     "fault_breakdown", "imbalance_breakdown", "jsonl_records",
     "phase_breakdown",
     "read_jsonl", "resolve_tracer", "round_breakdown",

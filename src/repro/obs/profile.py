@@ -94,6 +94,34 @@ def fault_breakdown(result) -> list[dict]:
     return rows
 
 
+def dispatch_breakdown(result) -> list[dict]:
+    """Adaptive-dispatch rows for one run, from ``result.dispatch``.
+
+    One row per decision counter (inline / parallel), one per learned
+    model input (per-kernel ``unit_s``, per-backend ``dispatch_s`` with
+    its seeding provenance).  Empty when the run made no dispatch
+    decisions (serial backend, or ``$REPRO_ADAPTIVE=off``) — the
+    profile section is omitted then.
+    """
+    rec = getattr(result, "dispatch", None)
+    if not rec:
+        return []
+    rows = [{"kind": "decision", "name": name,
+             "value": rec["decisions"][name], "detail": ""}
+            for name in sorted(rec["decisions"])]
+    for key, val in rec.get("unit_s", {}).items():
+        rows.append({"kind": "unit_s", "name": key,
+                     "value": f"{val:.3e}", "detail": "sec/unit"})
+    for backend, val in rec.get("dispatch_s", {}).items():
+        rows.append({"kind": "dispatch_s", "name": backend,
+                     "value": f"{val:.3e}",
+                     "detail": f"seed={rec.get('seeded', {}).get(backend, '')}"})
+    rows.append({"kind": "mode", "name": "adaptive",
+                 "value": rec.get("mode", ""),
+                 "detail": f"margin={rec.get('margin', '')}"})
+    return rows
+
+
 def imbalance_breakdown(tracer) -> list[dict]:
     """One row per multi-chunk round: chunk count and max/mean wall."""
     if not tracer.enabled:

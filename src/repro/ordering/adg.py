@@ -32,6 +32,25 @@ from ..runtime import ExecutionContext, Kernel
 from .base import Ordering, random_tiebreak, total_order
 
 
+def _row_weights(ws, key: str, indptr: np.ndarray,
+                 verts: np.ndarray) -> np.ndarray:
+    """CSR row lengths of ``verts`` into a reusable scratch buffer."""
+    w = np.take(indptr[1:], verts, out=ws.take(key, verts.size, indptr.dtype))
+    lo = np.take(indptr, verts,
+                 out=ws.take(key + ".lo", verts.size, indptr.dtype))
+    np.subtract(w, lo, out=w)
+    return w
+
+
+def _concat(ws, key: str, parts: list) -> np.ndarray:
+    """Concatenate int64 chunk results into a reusable scratch buffer."""
+    total = sum(p.size for p in parts)
+    out = ws.take(key, total)
+    if total:
+        np.concatenate(parts, out=out)
+    return out
+
+
 def adg_ordering(
     g: CSRGraph,
     eps: float = 0.01,
@@ -86,6 +105,7 @@ def adg_ordering(
         owns = True
     tracer = run.tracer
     cost, mem = run.cost, run.mem
+    ws = run.scratch  # coordinator-side buffers reused across iterations
     n = g.n
     # Long-lived state the coordinator mutates between iterations lives
     # in the shared arena under the process backend (zero re-transfer);
@@ -179,10 +199,9 @@ def adg_ordering(
                                   scalars={"compute_ranks": compute_ranks})
                     results = run.map_chunks(
                         kern, batch.size,
-                        weights=indptr[batch + 1] - indptr[batch])
-                    live_targets = np.concatenate(
-                        [r[0] for r in results]) if results else \
-                        np.empty(0, dtype=np.int64)
+                        weights=_row_weights(ws, "adg.bw", indptr, batch))
+                    live_targets = _concat(ws, "adg.live",
+                                           [r[0] for r in results])
                     nbrs_total = sum(r[1] for r in results)
                     mem.gather(nbrs_total, phase_name)
                     cost.scatter_decrement(nbrs_total)
@@ -190,9 +209,8 @@ def adg_ordering(
                         np.subtract.at(D, live_targets, 1)
                     cut = live_targets.size
                     if compute_ranks:
-                        preds = np.concatenate(
-                            [r[2] for r in results]) if results else \
-                            np.empty(0, dtype=np.int64)
+                        preds = _concat(ws, "adg.pred",
+                                        [r[2] for r in results])
                         np.add.at(pred_counts, preds, 1)
                         cost.round(nbrs_total, 1)
                 else:
@@ -203,9 +221,8 @@ def adg_ordering(
                                           "r_mask": r_mask})
                     results = run.map_chunks(
                         kern, live.size,
-                        weights=indptr[live + 1] - indptr[live])
-                    dec = np.concatenate([r[0] for r in results]) if results \
-                        else np.empty(0, dtype=np.int64)
+                        weights=_row_weights(ws, "adg.lw", indptr, live))
+                    dec = _concat(ws, "adg.dec", [r[0] for r in results])
                     nbrs_total = sum(r[1] for r in results)
                     mem.gather(nbrs_total, phase_name)
                     # Per-vertex Count(N_U(v) cap R): a Reduce over each row.

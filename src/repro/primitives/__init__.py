@@ -2,6 +2,7 @@
 
 from .atomics import decrement_and_fetch, fetch_and_add
 from .kernels import (
+    ScratchArena,
     grouped_mex,
     grouped_mex_bruteforce,
     multi_slice_gather,
@@ -23,6 +24,7 @@ from .sorting import (
 
 __all__ = [
     "decrement_and_fetch", "fetch_and_add",
+    "ScratchArena",
     "grouped_mex", "grouped_mex_bruteforce", "multi_slice_gather",
     "segment_any", "segment_count", "segment_ids", "segment_max", "segment_sum",
     "average", "count", "count_members", "reduce_sum", "reduce_with",

@@ -4,6 +4,12 @@ state, deterministic fault injection with retry / respawn / degradation
 recovery, and end-to-end accounting and tracing behind one
 :class:`ExecutionContext` object."""
 
+from .adaptive import (
+    ADAPTIVE_MODES,
+    DispatchEstimator,
+    default_adaptive,
+    resolve_adaptive,
+)
 from .context import (
     BACKENDS,
     CHUNKS_PER_WORKER,
@@ -24,8 +30,10 @@ from .kernels import KERNELS, Kernel
 from .shm import SharedArena
 
 __all__ = [
-    "BACKENDS", "CHUNKS_PER_WORKER", "ChunkError", "ExecutionContext",
+    "ADAPTIVE_MODES", "BACKENDS", "CHUNKS_PER_WORKER", "ChunkError",
+    "DispatchEstimator", "ExecutionContext",
     "FaultInjected", "FaultPlan", "FaultSpec", "KERNELS", "Kernel",
-    "SharedArena", "WorkerDeath", "default_backend",
-    "default_weighted_chunks", "resolve_context", "resolve_fault_plan",
+    "SharedArena", "WorkerDeath", "default_adaptive", "default_backend",
+    "default_weighted_chunks", "resolve_adaptive", "resolve_context",
+    "resolve_fault_plan",
 ]

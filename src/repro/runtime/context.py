@@ -13,6 +13,14 @@ needs to execute those rounds and account for them:
   chunking: engines pass per-item weights (frontier degrees, batch
   degrees) and chunk boundaries come from a prefix-sum split of total
   weight instead of an even split by count;
+- *adaptive round dispatch* (:mod:`repro.runtime.adaptive`): on the
+  parallel backends each multi-chunk round passes a break-even test —
+  an online overhead estimator (per-chunk dispatch cost per backend,
+  kernel seconds per work unit, both EWMA-updated and seeded by a
+  one-shot calibration) decides whether the round is worth shipping to
+  the pool or cheaper to run inline on the coordinator over the same
+  chunk plan (``$REPRO_ADAPTIVE``; decisions are counted, traced, and
+  summarized by :meth:`dispatch_record`);
 - fault tolerance at the same seam (:mod:`repro.runtime.faults`):
   per-chunk retry with capped exponential backoff, a per-round deadline
   that cancels stragglers, dead-worker detection with pool respawn and
@@ -87,6 +95,8 @@ from __future__ import annotations
 import os
 import threading
 import time
+
+import numpy as np
 from concurrent.futures import ThreadPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -100,6 +110,12 @@ from ..machine.parallel import (
     split_chunks_weighted,
 )
 from ..obs import resolve_tracer
+from ..primitives.kernels import ScratchArena
+from .adaptive import (
+    DispatchEstimator,
+    effective_parallelism,
+    resolve_adaptive,
+)
 from .faults import (
     WorkerDeath,
     apply_fault,
@@ -212,6 +228,14 @@ class ExecutionContext:
         Recovery budgets; ``None`` resolves via ``$REPRO_RETRIES``
         (2), ``$REPRO_BACKOFF`` (0.02s), ``$REPRO_ROUND_TIMEOUT``
         (off; pass 0 to force off), ``$REPRO_RESPAWNS`` (2).
+    adaptive:
+        Adaptive round dispatch (:mod:`repro.runtime.adaptive`):
+        ``'on'`` (break-even estimator inlines rounds too small to
+        amortize dispatch overhead), ``'off'`` (always dispatch — the
+        pre-adaptive behavior), or the forced modes ``'inline'`` /
+        ``'parallel'``; booleans map to on/off and ``None`` resolves
+        via ``$REPRO_ADAPTIVE``, else on.  Results are bit-identical
+        in every mode — the decision moves scheduling only.
 
     The context is a context manager; the thread pool is created lazily
     on first threaded :meth:`map_chunks` and shut down by
@@ -230,6 +254,7 @@ class ExecutionContext:
                  backoff: float | None = None,
                  round_timeout: float | None = None,
                  max_respawns: int | None = None,
+                 adaptive=None,
                  _pool_host: "ExecutionContext | None" = None):
         # The host carries the run-wide state (pool, arena, backend,
         # fault budgets, round counter); set it before anything that
@@ -248,6 +273,7 @@ class ExecutionContext:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         self.weighted_chunks = weighted_chunks if weighted_chunks is not None \
             else default_weighted_chunks()
+        self.adaptive = resolve_adaptive(adaptive)
         self.cost = cost if cost is not None else CostModel(crew=crew)
         self.mem = mem if mem is not None else MemoryModel()
         self.wall_by_phase: dict[str, float] = {}
@@ -255,6 +281,7 @@ class ExecutionContext:
         if self.tracer.enabled:
             self.tracer.meta.setdefault("backend", self.backend)
             self.tracer.meta.setdefault("workers", self.workers)
+            self.tracer.meta.setdefault("adaptive", self.adaptive)
         self._pool: ThreadPoolExecutor | None = None
         self._procpool = None
         self._arena: SharedArena | None = None
@@ -284,6 +311,9 @@ class ExecutionContext:
             self._fault_events: list[dict] = []
             self._respawns = 0
             self._round_seq = 0
+            self._estimator = DispatchEstimator() \
+                if self.adaptive != "off" else None
+            self._scratch = ScratchArena()
 
     @property
     def backend(self) -> str:
@@ -291,6 +321,16 @@ class ExecutionContext:
         degradation in any context of the run (ordering child, coloring
         parent) is visible everywhere."""
         return self._pool_host._backend
+
+    @property
+    def scratch(self) -> ScratchArena:
+        """The run's coordinator-side scratch arena: reusable buffers
+        for the per-round intermediates engines build *between* chunk
+        rounds (wave weights, successor concatenations, batch unions).
+        Run-wide and single-threaded — only the coordinator touches it;
+        kernels running on workers use their own per-thread arena
+        (:func:`repro.runtime.kernels.scratch`)."""
+        return self._pool_host._scratch
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -324,6 +364,7 @@ class ExecutionContext:
                                 cost=cost, mem=mem, crew=crew,
                                 trace=self.tracer,
                                 weighted_chunks=self.weighted_chunks,
+                                adaptive=self.adaptive,
                                 _pool_host=self._pool_host)
 
     def _acquire_pool(self) -> ThreadPoolExecutor | None:
@@ -453,18 +494,77 @@ class ExecutionContext:
         started on, and never move afterwards — recovery (retry waves,
         pool respawns, even a mid-round degradation) re-dispatches the
         *same* spans, so partial results combine in the same order.
+
+        With adaptive dispatch (the default), a multi-chunk round on a
+        parallel backend first passes through the break-even decision
+        (:mod:`repro.runtime.adaptive`): a round predicted too small to
+        amortize its dispatch overhead runs inline on the coordinator —
+        over the *same* chunk plan, drawing faults at the same
+        (round, chunk, attempt) coordinates — so the decision moves
+        scheduling only, never results.
         """
         chunks = self._plan_chunks(n, weights)
         if not chunks:
             return []
+        host = self._pool_host
+        est = host._estimator
+        backend0 = self.backend
+        if backend0 == "process" and self.workers > 1 and len(chunks) > 1 \
+                and not isinstance(fn, Kernel):
+            # The contract holds whatever the dispatch decision: an
+            # inlined round today may dispatch tomorrow on a bigger box.
+            raise TypeError(
+                "the process backend runs picklable kernel "
+                "descriptors, not closures: pass a "
+                "repro.runtime.kernels.Kernel to map_chunks "
+                "(serial/threaded accept any callable)")
+        eligible = est is not None and backend0 != "serial" \
+            and self.workers > 1 and len(chunks) > 1
+        inline = False
+        p_eff = 1
+        units = 0.0
+        key = fn.name if isinstance(fn, Kernel) \
+            else getattr(fn, "__name__", None)
+        if eligible:
+            units = float(np.sum(weights)) if weights is not None \
+                else float(n)
+            p_eff = effective_parallelism(self.workers, len(chunks))
+            inline = self._decide_dispatch(backend0, key, units,
+                                           len(chunks), p_eff, rid)
+        measure = eligible and self.adaptive == "on"
+        ktimes: list | None = [] if measure else None
+        t0 = time.perf_counter() if measure else 0.0
+        # Fused inline fast path: chunk results combine to the same
+        # value whatever the boundaries (the serial backend's 1-chunk
+        # plan is already bit-identical to the pooled plans), so with
+        # no fault plan pinning (round, chunk) coordinates an inlined
+        # round runs as one span — no futures, no specs, no wave
+        # machinery, no per-chunk invocation tax.  A fault plan keeps
+        # the per-chunk loop below so injections keep firing at the
+        # same coordinates they would under dispatch.
+        if inline and host._faultplan is None:
+            try:
+                fused = [self._call_chunk(fn, 0, n, None, records, ktimes)]
+            except Exception:
+                # Re-run through the wave machinery so retry semantics
+                # and ChunkError reporting match the dispatched path
+                # (map_chunks requires chunks to be retry-safe).
+                pass
+            else:
+                if measure:
+                    est.observe_round(backend0, key, len(chunks), units,
+                                      time.perf_counter() - t0,
+                                      sum(ktimes), len(ktimes), inline,
+                                      p_eff)
+                return fused
         results = [_PENDING] * len(chunks)
         attempts = [0] * len(chunks)
         todo = list(range(len(chunks)))
         while todo:
             wave, todo = todo, []
             backend = self.backend
-            pooled = backend != "serial" and self.workers > 1 \
-                and len(chunks) > 1
+            pooled = not inline and backend != "serial" \
+                and self.workers > 1 and len(chunks) > 1
             if pooled and backend == "process":
                 if not isinstance(fn, Kernel):
                     raise TypeError(
@@ -473,34 +573,76 @@ class ExecutionContext:
                         "repro.runtime.kernels.Kernel to map_chunks "
                         "(serial/threaded accept any callable)")
                 dead = self._wave_process(fn, chunks, wave, todo, results,
-                                          attempts, n, rid, records)
+                                          attempts, n, rid, records, ktimes)
             elif pooled:
                 dead = self._wave_threaded(fn, chunks, wave, todo, results,
-                                           attempts, n, rid, records)
+                                           attempts, n, rid, records, ktimes)
             else:
                 dead = self._wave_inline(fn, chunks, wave, results,
-                                         attempts, n, rid, records)
+                                         attempts, n, rid, records, ktimes)
             if dead:
                 self._pool_failure(rid)
+        if measure:
+            est.observe_round(backend0, key, len(chunks), units,
+                              time.perf_counter() - t0, sum(ktimes),
+                              len(ktimes), inline, p_eff)
         return results
 
-    def _call_chunk(self, fn, lo: int, hi: int, fault, records):
+    def _decide_dispatch(self, backend: str, key, units: float,
+                         n_chunks: int, p_eff: int, rid: int) -> bool:
+        """Inline this round?  Forced modes answer directly; ``on``
+        consults the estimator (seeding it on first contact — the
+        process pool is never spun up just to calibrate, it keeps a
+        static seed until real dispatches refine it)."""
+        host = self._pool_host
+        est = host._estimator
+        mode = self.adaptive
+        if mode == "inline":
+            inline = True
+        elif mode == "parallel":
+            inline = False
+        else:
+            est.seed_unit()
+            if backend not in est.dispatch_s:
+                pool = None
+                if backend == "threaded":
+                    pool = self._acquire_pool()
+                elif backend == "process":
+                    pool = host._procpool
+                est.seed_dispatch(backend, pool)
+            inline = est.should_inline(backend, key, units, n_chunks, p_eff)
+        est.decisions["inline" if inline else "parallel"] += 1
+        if self.tracer.enabled:
+            self.tracer.count(
+                "dispatch.inline" if inline else "dispatch.parallel",
+                1, round=rid)
+        return inline
+
+    def _call_chunk(self, fn, lo: int, hi: int, fault, records, ktimes):
         if fault is not None:
             apply_fault(fault)
-        if records is None:
+        if records is None and ktimes is None:
             return fn(lo, hi)
-        tracer = self.tracer
-        c0 = tracer.now()
+        # Traced rounds stamp on the tracer's clock (same monotonic
+        # base); untraced measured rounds only need durations.
+        c0 = self.tracer.now() if records is not None \
+            else time.perf_counter()
         res = fn(lo, hi)
-        records.append((lo, hi, c0, tracer.now(), threading.get_ident()))
+        c1 = self.tracer.now() if records is not None \
+            else time.perf_counter()
+        if records is not None:
+            records.append((lo, hi, c0, c1, threading.get_ident()))
+        if ktimes is not None:
+            ktimes.append(c1 - c0)
         return res
 
     def _wave_inline(self, fn, chunks, wave, results, attempts,
-                     n: int, rid: int, records) -> bool:
-        """Inline wave (serial backend, 1 worker, or a 1-chunk round):
-        each chunk retries in place.  An injected WorkerDeath has no
-        pool to kill here, so it consumes retry budget like any other
-        chunk failure — the bottom of the degradation ladder."""
+                     n: int, rid: int, records, ktimes) -> bool:
+        """Inline wave (serial backend, 1 worker, a 1-chunk round, or a
+        round adaptive dispatch kept on the coordinator): each chunk
+        retries in place.  An injected WorkerDeath has no pool to kill
+        here, so it consumes retry budget like any other chunk failure
+        — the bottom of the degradation ladder."""
         for ci in wave:
             lo, hi = chunks[ci]
             while True:
@@ -508,7 +650,7 @@ class ExecutionContext:
                 fault = self._draw_fault(rid, ci, attempts[ci])
                 try:
                     results[ci] = self._call_chunk(fn, lo, hi, fault,
-                                                   records)
+                                                   records, ktimes)
                     break
                 except Exception as exc:
                     self._retry_or_raise(ci, chunks[ci], attempts[ci],
@@ -516,7 +658,7 @@ class ExecutionContext:
         return False
 
     def _wave_threaded(self, fn, chunks, wave, todo, results, attempts,
-                       n: int, rid: int, records) -> bool:
+                       n: int, rid: int, records, ktimes) -> bool:
         pool = self._acquire_pool()
         futs = {}
         for ci in wave:
@@ -524,13 +666,13 @@ class ExecutionContext:
             fault = self._draw_fault(rid, ci, attempts[ci])
             lo, hi = chunks[ci]
             futs[pool.submit(self._call_chunk, fn, lo, hi, fault,
-                             records)] = ci
+                             records, ktimes)] = ci
         return self._collect_wave(futs, chunks, todo, results, attempts,
                                   n, rid, broken=WorkerDeath,
                                   finish=results.__setitem__)
 
     def _wave_process(self, kern: Kernel, chunks, wave, todo, results,
-                      attempts, n: int, rid: int, records) -> bool:
+                      attempts, n: int, rid: int, records, ktimes) -> bool:
         """Ship a kernel descriptor's chunks to the worker pool.
 
         Arrays are adopted into the shared arena first: zero-copy for
@@ -543,16 +685,20 @@ class ExecutionContext:
         arena = self._acquire_arena()
         specs = {key: arena.adopt(f"{kern.ns}:{key}", arr)
                  for key, arr in kern.arrays.items()}
-        timed = records is not None
+        timed = records is not None or ktimes is not None
         if timed:
             # Workers time with perf_counter; anchor their absolute
             # stamps to this tracer's epoch (same monotonic clock).
-            epoch = time.perf_counter() - self.tracer.now()
+            epoch = time.perf_counter() - self.tracer.now() \
+                if records is not None else 0.0
 
             def finish(ci, packed):
                 res, c0, c1, pid = packed
-                lo, hi = chunks[ci]
-                records.append((lo, hi, c0 - epoch, c1 - epoch, pid))
+                if records is not None:
+                    lo, hi = chunks[ci]
+                    records.append((lo, hi, c0 - epoch, c1 - epoch, pid))
+                if ktimes is not None:
+                    ktimes.append(c1 - c0)
                 results[ci] = res
         else:
             finish = results.__setitem__
@@ -744,6 +890,26 @@ class ExecutionContext:
                 "plan": host._faultplan.describe()
                 if host._faultplan is not None else None}
 
+    def dispatch_record(self) -> dict | None:
+        """Digest of the run's adaptive-dispatch activity, or ``None``
+        when adaptive dispatch is off — or never had a decision to make
+        (serial runs, single-chunk rounds) — keeping result rows clean.
+
+        ``decisions`` counts rounds kept inline vs. dispatched to the
+        pool; ``unit_s``/``dispatch_s`` expose the learned model
+        (seconds per work unit per kernel, per-chunk overhead per
+        backend) and ``seeded`` how each backend's overhead estimate
+        was born (``calibrated`` through the real pool, or ``static``).
+        """
+        host = self._pool_host
+        est = host._estimator
+        if est is None or not (est.decisions["inline"]
+                               or est.decisions["parallel"]):
+            return None
+        rec = est.record()
+        rec["mode"] = self.adaptive
+        return rec
+
     def _record_round(self, rid: int, phase, t0: float, t1: float,
                       n: int, walls: list) -> None:
         max_w = max(walls, default=0.0)
@@ -792,6 +958,7 @@ class ExecutionContext:
         """Flat record of the execution configuration (for result rows),
         including the exclusive per-phase wall split recorded so far."""
         return {"backend": self.backend, "workers": self.workers,
+                "adaptive": self.adaptive,
                 "wall_by_phase": dict(self.wall_by_phase)}
 
 
@@ -803,7 +970,8 @@ def resolve_context(ctx: ExecutionContext | None,
                     crew: bool = False,
                     trace=None,
                     weighted_chunks: bool | None = None,
-                    faults=None) -> tuple[ExecutionContext, bool]:
+                    faults=None,
+                    adaptive=None) -> tuple[ExecutionContext, bool]:
     """Return ``(context, owns)`` for an engine entry point.
 
     When the caller supplied a context it is used as-is (``owns`` False:
@@ -818,4 +986,4 @@ def resolve_context(ctx: ExecutionContext | None,
                             cost=cost, mem=mem, crew=crew,
                             trace=trace,
                             weighted_chunks=weighted_chunks,
-                            faults=faults), True
+                            faults=faults, adaptive=adaptive), True

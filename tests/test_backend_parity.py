@@ -128,6 +128,99 @@ class TestWeightedChunkingParity:
         assert on.mem.total == off.mem.total
 
 
+class TestAdaptiveParity:
+    """$REPRO_ADAPTIVE moves scheduling only: for every engine, on
+    every backend, every mode (learned decisions, forced inline,
+    forced parallel) produces bit-identical colors, rounds, and
+    cost/memory books to ``adaptive='off'``."""
+
+    MODES = ["on", "inline", "parallel"]
+
+    ENGINES = [
+        ("jp-adg", lambda g, ctx: jp_by_name(g, "ADG", seed=0, eps=0.1,
+                                             ctx=ctx)),
+        ("jp-adg-fused", lambda g, ctx: jp_adg_fused(g, seed=0, eps=0.1,
+                                                     ctx=ctx)),
+        ("dec-adg", lambda g, ctx: dec_adg(g, seed=0, ctx=ctx)),
+        ("dec-adg-itr", lambda g, ctx: dec_adg_itr(g, seed=0, ctx=ctx)),
+    ]
+
+    @staticmethod
+    def _run(engine, graph, backend, workers, mode):
+        with ExecutionContext(backend=backend, workers=workers,
+                              adaptive=mode) as ctx:
+            return engine(graph, ctx)
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("name,engine", ENGINES,
+                             ids=[n for n, _ in ENGINES])
+    def test_threaded_modes_match_off(self, parity_graph, name, engine,
+                                      mode):
+        off = self._run(engine, parity_graph, "threaded", 4, "off")
+        got = self._run(engine, parity_graph, "threaded", 4, mode)
+        np.testing.assert_array_equal(got.colors, off.colors)
+        assert got.rounds == off.rounds
+        assert got.cost.work == off.cost.work
+        assert got.cost.depth == off.cost.depth
+        assert got.mem.total == off.mem.total
+        if off.reorder_cost is not None:
+            assert got.reorder_cost.work == off.reorder_cost.work
+            assert got.reorder_cost.depth == off.reorder_cost.depth
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_process_modes_match_off(self, parity_graph, mode):
+        off = self._run(self.ENGINES[0][1], parity_graph, "process", 2,
+                        "off")
+        got = self._run(self.ENGINES[0][1], parity_graph, "process", 2,
+                        mode)
+        np.testing.assert_array_equal(got.colors, off.colors)
+        assert got.rounds == off.rounds
+        assert got.cost.work == off.cost.work
+        assert got.mem.total == off.mem.total
+
+    def test_serial_ignores_mode(self, parity_graph):
+        """Serial rounds are never dispatch-eligible: any mode is the
+        plain serial run, and no dispatch record is kept."""
+        off = self._run(self.ENGINES[0][1], parity_graph, "serial", 1,
+                        "off")
+        on = self._run(self.ENGINES[0][1], parity_graph, "serial", 1,
+                       "on")
+        np.testing.assert_array_equal(on.colors, off.colors)
+        assert on.dispatch is None
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_ordering_modes_match_off(self, parity_graph, mode):
+        results = {}
+        for m in ("off", mode):
+            with ExecutionContext(backend="threaded", workers=4,
+                                  adaptive=m) as ctx:
+                results[m] = adg_ordering(parity_graph, eps=0.1, seed=0,
+                                          ctx=ctx)
+        off, got = results["off"], results[mode]
+        np.testing.assert_array_equal(got.ranks, off.ranks)
+        np.testing.assert_array_equal(got.levels, off.levels)
+        assert got.num_levels == off.num_levels
+        assert got.cost.work == off.cost.work
+        assert got.cost.depth == off.cost.depth
+
+    def test_chaos_row_inlined_round_parity(self, parity_graph):
+        """A fault plan aimed at rounds the adaptive layer inlines
+        still fires and retries deterministically — colors and books
+        match the fault-free baseline bit for bit."""
+        clean = self._run(self.ENGINES[0][1], parity_graph, "threaded",
+                          4, "off")
+        with ExecutionContext(backend="threaded", workers=4,
+                              adaptive="inline", backoff=0.0,
+                              faults="error@1.2;error@3.0") as ctx:
+            chaos = self.ENGINES[0][1](parity_graph, ctx)
+        np.testing.assert_array_equal(chaos.colors, clean.colors)
+        assert chaos.rounds == clean.rounds
+        assert chaos.cost.work == clean.cost.work
+        assert chaos.mem.total == clean.mem.total
+        assert chaos.faults["counters"]["fault.injected.error"] == 2
+        assert chaos.faults["counters"]["fault.retries"] == 2
+
+
 class TestDegradationParity:
     """Forced mid-algorithm backend degradation keeps bit parity.
 
@@ -146,8 +239,11 @@ class TestDegradationParity:
     def test_degraded_run_matches_serial(self, parity_graph, backend,
                                          workers, lower):
         serial = jp_by_name(parity_graph, "ADG", seed=0, eps=0.1)
+        # adaptive="off": kill faults only reach the pool on dispatched
+        # rounds, and this class is about the pool's degradation path.
         with ExecutionContext(backend=backend, workers=workers,
-                              faults="kill@4.0", max_respawns=0) as ctx:
+                              faults="kill@4.0", max_respawns=0,
+                              adaptive="off") as ctx:
             degraded = jp_by_name(parity_graph, "ADG", seed=0, eps=0.1,
                                   ctx=ctx)
         _assert_result_parity(serial, degraded, lower, workers)
@@ -161,7 +257,7 @@ class TestDegradationParity:
         serial = jp_by_name(parity_graph, "ADG", seed=0, eps=0.1)
         with ExecutionContext(backend="process", workers=2,
                               faults="kill@3.0;kill@6.0",
-                              max_respawns=0) as ctx:
+                              max_respawns=0, adaptive="off") as ctx:
             degraded = jp_by_name(parity_graph, "ADG", seed=0, eps=0.1,
                                   ctx=ctx)
         _assert_result_parity(serial, degraded, "serial", 2)

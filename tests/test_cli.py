@@ -161,14 +161,17 @@ class TestProfileCommand:
                      "JP-ADG", "--json"]) == 0
         out = json.loads(capsys.readouterr().out)
         assert set(out) == {"summary", "phases", "rounds", "imbalance",
-                            "faults"}
+                            "faults", "dispatch"}
         assert out["summary"]["algorithm"] == "JP-ADG"
         assert {r["phase"] for r in out["phases"]} >= {"jp:dag", "jp:color"}
         assert any("jp.colored" in r for r in out["rounds"])
 
     def test_threaded_imbalance_rows(self, capsys):
+        # --adaptive parallel: the imbalance digest only covers rounds
+        # that actually dispatched multi-chunk.
         assert main(["profile", "--gen", "gnm:600,2500", "--backend",
-                     "threaded", "--workers", "4", "--json"]) == 0
+                     "threaded", "--workers", "4", "--json",
+                     "--adaptive", "parallel"]) == 0
         out = json.loads(capsys.readouterr().out)
         assert out["imbalance"], "threaded profile must report chunk rows"
         assert all(r["chunks"] > 1 for r in out["imbalance"])

@@ -286,7 +286,7 @@ class TestProcessRespawn:
     def test_real_worker_kill_respawns_pool(self, chaos_graph, baselines):
         plan = FaultPlan.parse("kill@3.0")
         with ExecutionContext(backend="process", workers=2, faults=plan,
-                              max_respawns=2) as ctx:
+                              max_respawns=2, adaptive="off") as ctx:
             result = ENGINES["jp-adg"](chaos_graph, ctx)
         _assert_bit_identical(result, baselines["jp-adg"])
         assert result.backend == "process"  # recovered, not degraded
@@ -313,7 +313,7 @@ class TestSubmitTimeBreakage:
                 pass
 
         with ExecutionContext(backend="process", workers=2, faults=False,
-                              max_respawns=1) as ctx:
+                              max_respawns=1, adaptive="off") as ctx:
             ctx._procpool = _BrokenPool()
             n = 200
             kern = Kernel("adg.select", "t",
@@ -329,7 +329,8 @@ class TestRoundDeadline:
     def test_straggler_cancelled_and_retried(self):
         with ExecutionContext(backend="threaded", workers=2,
                               faults="delay@1.0:0.5", retries=2,
-                              backoff=0.0, round_timeout=0.1) as ctx:
+                              backoff=0.0, round_timeout=0.1,
+                              adaptive="off") as ctx:
             out = ctx.map_chunks(lambda lo, hi: hi - lo, 100)
         assert sum(out) == 100
         counters = ctx.fault_record()["counters"]
@@ -338,7 +339,8 @@ class TestRoundDeadline:
     def test_deadline_exhaustion_raises(self):
         with ExecutionContext(backend="threaded", workers=2,
                               faults="delay@1.*:0.5x9", retries=1,
-                              backoff=0.0, round_timeout=0.05) as ctx:
+                              backoff=0.0, round_timeout=0.05,
+                              adaptive="off") as ctx:
             with pytest.raises(ChunkError, match="timed out after"):
                 ctx.map_chunks(lambda lo, hi: hi - lo, 100)
 
@@ -365,7 +367,8 @@ class TestWaveCancellation:
             return hi - lo
 
         with ExecutionContext(backend="threaded", workers=4,
-                              faults=False, retries=0) as ctx:
+                              faults=False, retries=0,
+                              adaptive="off") as ctx:
             with pytest.raises(ChunkError, match="items failed"):
                 try:
                     gate.set()

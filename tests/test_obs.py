@@ -330,7 +330,10 @@ class TestProfileBreakdowns:
         res, t = self._run()
         assert imbalance_breakdown(t) == []  # serial: single-chunk rounds
 
-    def test_imbalance_breakdown_threaded(self):
+    def test_imbalance_breakdown_threaded(self, monkeypatch):
+        # Force dispatch: the digest only covers rounds that actually
+        # ran multi-chunk on the pool.
+        monkeypatch.setenv("REPRO_ADAPTIVE", "parallel")
         g = gnm_random(n=500, m=2000, seed=3)
         t = Tracer()
         color("JP-ADG", g, backend="threaded", workers=4, trace=t, seed=0)

@@ -67,6 +67,7 @@ class TestConstruction:
     def test_describe(self):
         ctx = ExecutionContext(backend="threaded", workers=2)
         assert ctx.describe() == {"backend": "threaded", "workers": 2,
+                                  "adaptive": ctx.adaptive,
                                   "wall_by_phase": {}}
 
     def test_describe_includes_phase_walls(self):
@@ -294,7 +295,7 @@ class TestProcessBackend:
             assert ctx.map_chunks(good, 100)
 
     def test_pool_and_arena_closed(self):
-        ctx = ExecutionContext(backend="process", workers=2)
+        ctx = ExecutionContext(backend="process", workers=2, adaptive="off")
         assert ctx._procpool is None and ctx._arena is None
         ctx.map_chunks(self._select_kernel(500), 500)
         assert ctx._procpool is not None and ctx._arena is not None
@@ -302,7 +303,8 @@ class TestProcessBackend:
         assert ctx._procpool is None and ctx._arena is None
 
     def test_child_shares_pool_and_arena(self):
-        with ExecutionContext(backend="process", workers=2) as ctx:
+        with ExecutionContext(backend="process", workers=2,
+                              adaptive="off") as ctx:
             ctx.map_chunks(self._select_kernel(500), 500)
             kid = ctx.child()
             assert kid._pool_host is ctx
