@@ -101,6 +101,8 @@ def cmd_color(args: argparse.Namespace) -> int:
             summary["faults"] = res.faults
         if res.dispatch is not None:
             summary["dispatch"] = res.dispatch
+        if res.shards is not None:
+            summary["shards"] = res.shards
         print(json.dumps(summary))
     else:
         print(format_table([summary]))
@@ -259,6 +261,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         imbalance_breakdown,
         phase_breakdown,
         round_breakdown,
+        shard_breakdown,
     )
 
     g = load_graph(args)
@@ -277,10 +280,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
     imbalance = imbalance_breakdown(tracer)
     faults = fault_breakdown(res)
     dispatch = dispatch_breakdown(res)
+    shards = shard_breakdown(res)
     if args.json:
         print(json.dumps({"summary": summary, "phases": phases,
                           "rounds": rounds, "imbalance": imbalance,
-                          "faults": faults, "dispatch": dispatch}))
+                          "faults": faults, "dispatch": dispatch,
+                          "shards": shards}))
     else:
         print(format_table([summary]))
         print("\n== per-phase breakdown (exclusive wall) ==")
@@ -297,6 +302,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
         if dispatch:
             print("\n== adaptive dispatch ==")
             print(format_table(dispatch))
+        if shards:
+            print("\n== sharding layer ==")
+            print(format_table(shards))
     flush_trace(tracer)
     return 0
 
@@ -341,6 +349,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "$REPRO_ADAPTIVE or on): inline rounds too "
                             "small to amortize their dispatch overhead; "
                             "colors are identical in every mode")
+        p.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="run DEC-family engines through the sharding "
+                            "layer with N per-shard engines (default: "
+                            "$REPRO_SHARDS or off; 0 disables); with the "
+                            "process backend each shard runs in its own "
+                            "worker over shared-memory segments")
 
     p_color = sub.add_parser("color", help="run a coloring algorithm")
     common(p_color)
@@ -394,11 +408,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     import os
     saved: dict[str, str | None] = {}
     for flag, env in (("faults", "REPRO_FAULTS"),
-                      ("adaptive", "REPRO_ADAPTIVE")):
+                      ("adaptive", "REPRO_ADAPTIVE"),
+                      ("shards", "REPRO_SHARDS")):
         value = getattr(args, flag, None)
-        if value:
+        # --shards 0 must override an ambient $REPRO_SHARDS (it means
+        # "off"), so integers test against None rather than falsiness.
+        if value or (value is not None and flag == "shards"):
             saved[env] = os.environ.get(env)
-            os.environ[env] = value
+            os.environ[env] = str(value)
     try:
         return args.fn(args)
     finally:

@@ -33,6 +33,7 @@ from .registry import (
     color,
 )
 from .result import ColoringResult
+from .sharded import sharded_color
 from .simcol import sim_col
 from .speculative import itr, itr_asl, itrb
 from .verify import (
@@ -54,6 +55,7 @@ __all__ = [
     "class_block_sequence", "iterated_greedy", "recolor_pass",
     "greedy", "greedy_by_name", "greedy_color_sequence",
     "itr", "itr_asl", "itrb", "sim_col", "dec_adg", "dec_adg_m", "dec_adg_itr",
+    "sharded_color",
     "luby_coloring", "luby_mis", "gm_coloring",
     "greedy_distance2", "is_valid_distance2", "jp_distance2", "square_graph",
     "color_reduction",

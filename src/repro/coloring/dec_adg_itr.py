@@ -12,6 +12,13 @@ As in DEC-ADG the level loop is sequential, and the per-round trial
 coloring / conflict detection inside each partition is chunked through
 the execution context; colors and accounting are bit-identical across
 backends (the scheme is deterministic given the priority permutation).
+
+The level loop is exposed as :func:`itr_color_partitions` — the
+sharding layer's interior entry point, mirroring
+:func:`repro.coloring.dec_adg.color_partitions`: a shard worker runs it
+on its induced subgraph with the global level ids and the global
+priority permutation restricted to the shard, and
+:mod:`repro.coloring.sharded` repairs the cross-shard boundary.
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ from ..machine.costmodel import log2_ceil
 from ..ordering.adg import adg_ordering
 from ..ordering.base import random_tiebreak
 from ..runtime import ExecutionContext, Kernel, resolve_context
-from .dec_adg import partition_constraints
+from .dec_adg import partition_constraints, partitions_from_levels
 from .result import ColoringResult
 
 
@@ -115,74 +122,104 @@ def _itr_partition(part: CSRGraph, forbidden: np.ndarray,
     return ctx.localize(colors), rounds, conflicts
 
 
+def itr_color_partitions(g: CSRGraph, levels: np.ndarray, num_levels: int,
+                         priority: np.ndarray, ctx: ExecutionContext,
+                         max_rounds: int | None = None
+                         ) -> tuple[np.ndarray, int, int]:
+    """The DEC-ADG-ITR interior: ITR over the level partitions, top down.
+
+    ``g`` is the whole graph or one shard's induced subgraph; ``levels``
+    and ``priority`` are the run-global level ids and tiebreak
+    permutation restricted to ``g``'s vertices, so the smallest-free
+    color stays bounded by the global deg_l and the 2(1+eps)d + 1
+    quality bound survives sharding.  Returns
+    ``(colors, rounds, conflicts)``.
+    """
+    cost = ctx.cost
+    n = g.n
+    tracer = ctx.tracer
+    # Cross-level state, uploaded once (see dec_adg).
+    indptr = ctx.share("dec", "indptr", g.indptr)
+    indices = ctx.share("dec", "indices", g.indices)
+    levels = ctx.share("dec", "levels", levels)
+    colors = ctx.share("dec", "colors", np.zeros(n, dtype=np.int64))
+    partitions = partitions_from_levels(ctx.localize(levels), num_levels)
+    rounds_total = 0
+    conflicts_total = 0
+
+    with ctx.phase("dec-itr:color"):
+        for level in range(num_levels, 0, -1):
+            verts = partitions[level - 1]
+            if verts.size == 0:
+                continue
+            sub = induced_subgraph(g, verts)
+
+            # deg_l(v) bounds the bitmap width: mex never exceeds
+            # degl + 1.
+            counts_ge, taken, owners = partition_constraints(
+                indptr, indices, g.max_degree, verts, levels, level,
+                colors, ctx, "dec-itr")
+            width = int(counts_ge.max(initial=0)) + 3
+
+            forbidden = np.zeros((verts.size, width), dtype=bool)
+            keep = (taken > 0) & (taken < width)
+            forbidden[owners[keep], taken[keep]] = True
+            cost.scatter_decrement(int(keep.sum()))
+            if tracer.enabled:
+                tracer.gauge("dec-itr.partition", int(verts.size),
+                             round=level)
+                tracer.gauge("dec-itr.palette", int(width), round=level)
+
+            local_colors, rounds, conflicts = _itr_partition(
+                sub.graph, forbidden, priority[verts], ctx, max_rounds)
+            colors[verts] = local_colors
+            rounds_total += rounds
+            conflicts_total += conflicts
+    return ctx.localize(colors), rounds_total, conflicts_total
+
+
 def dec_adg_itr(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
                 variant: str = "avg", max_rounds: int | None = None,
                 ctx: ExecutionContext | None = None,
                 backend: str | None = None,
                 workers: int | None = None,
-                trace=None) -> ColoringResult:
-    """Run DEC-ADG-ITR (quality <= 2(1+eps)d + 1)."""
+                trace=None,
+                shards: int | None = None) -> ColoringResult:
+    """Run DEC-ADG-ITR (quality <= 2(1+eps)d + 1).
+
+    ``shards`` > 1 (argument, context, or ``$REPRO_SHARDS``) executes
+    through the sharding layer
+    (:func:`repro.coloring.sharded.sharded_color`).
+    """
     if eps < 0:
         raise ValueError(f"eps must be >= 0, got {eps}")
     ctx, owns = resolve_context(ctx, backend=backend, workers=workers,
-                                trace=trace)
+                                trace=trace, shards=shards)
     try:
+        n_shards = shards if shards is not None else ctx.shards
+        if n_shards > 1:
+            from .sharded import sharded_color
+            name = "DEC-ADG-ITR" if variant == "avg" else "DEC-ADG-ITR-M"
+            return sharded_color(g, algorithm=name, eps=eps, seed=seed,
+                                 ctx=ctx, n_shards=n_shards,
+                                 variant=variant,
+                                 max_rounds=max_rounds)
         t0 = time.perf_counter()
         ordering = adg_ordering(g, eps=eps, variant=variant, seed=seed,
                                 ctx=ctx)
         reorder_wall = time.perf_counter() - t0
+        assert ordering.levels is not None
 
-        cost, mem = ctx.cost, ctx.mem
-        n = g.n
-        levels = ordering.levels
-        assert levels is not None
-        # Cross-level state, uploaded once (see dec_adg).
-        indptr = ctx.share("dec", "indptr", g.indptr)
-        indices = ctx.share("dec", "indices", g.indices)
-        levels = ctx.share("dec", "levels", levels)
-        colors = ctx.share("dec", "colors", np.zeros(n, dtype=np.int64))
-        partitions = ordering.level_partitions()
-        priority_global = random_tiebreak(n, seed)
-        rounds_total = 0
-        conflicts_total = 0
-        tracer = ctx.tracer
-
+        priority_global = random_tiebreak(g.n, seed)
         t0 = time.perf_counter()
-        with ctx.phase("dec-itr:color"):
-            for level in range(ordering.num_levels, 0, -1):
-                verts = partitions[level - 1]
-                if verts.size == 0:
-                    continue
-                sub = induced_subgraph(g, verts)
-
-                # deg_l(v) bounds the bitmap width: mex never exceeds
-                # degl + 1.
-                counts_ge, taken, owners = partition_constraints(
-                    indptr, indices, g.max_degree, verts, levels, level,
-                    colors, ctx, "dec-itr")
-                width = int(counts_ge.max(initial=0)) + 3
-
-                forbidden = np.zeros((verts.size, width), dtype=bool)
-                keep = (taken > 0) & (taken < width)
-                forbidden[owners[keep], taken[keep]] = True
-                cost.scatter_decrement(int(keep.sum()))
-                if tracer.enabled:
-                    tracer.gauge("dec-itr.partition", int(verts.size),
-                                 round=level)
-                    tracer.gauge("dec-itr.palette", int(width), round=level)
-
-                local_colors, rounds, conflicts = _itr_partition(
-                    sub.graph, forbidden, priority_global[verts], ctx,
-                    max_rounds)
-                colors[verts] = local_colors
-                rounds_total += rounds
-                conflicts_total += conflicts
-        colors = ctx.localize(colors)
+        colors, rounds_total, conflicts_total = itr_color_partitions(
+            g, ordering.levels, ordering.num_levels, priority_global, ctx,
+            max_rounds=max_rounds)
         wall = time.perf_counter() - t0
 
         name = "DEC-ADG-ITR" if variant == "avg" else "DEC-ADG-ITR-M"
-        return ColoringResult(algorithm=name, colors=colors, cost=cost,
-                              mem=mem, reorder_cost=ordering.cost,
+        return ColoringResult(algorithm=name, colors=colors, cost=ctx.cost,
+                              mem=ctx.mem, reorder_cost=ordering.cost,
                               reorder_mem=ordering.mem, rounds=rounds_total,
                               conflicts_resolved=conflicts_total,
                               wall_seconds=wall,

@@ -44,6 +44,14 @@ class ColoringResult:
     ``off``); then it carries the estimator digest — inline/parallel
     decision counts, the learned per-kernel ``unit_s`` and per-backend
     ``dispatch_s`` EWMAs, and how each backend's overhead was seeded.
+
+    ``shards`` is ``None`` unless the run went through the sharding
+    layer (``shards`` argument / ``$REPRO_SHARDS`` > 1); then it
+    carries the :class:`~repro.runtime.ShardPlan` digest (shard sizes,
+    cut edges, per-shard working-set bytes), the executor digest
+    (respawns, degradation), the boundary-repair counters
+    (``repair_rounds``, ``repair_recolored``), and one ``per_shard``
+    row per shard with its engine's rounds, wall, work, and peak RSS.
     """
 
     algorithm: str
@@ -62,6 +70,7 @@ class ColoringResult:
     trace_summary: dict | None = None
     faults: dict | None = None
     dispatch: dict | None = None
+    shards: dict | None = None
 
     def __post_init__(self) -> None:
         self.colors = np.asarray(self.colors, dtype=np.int64)

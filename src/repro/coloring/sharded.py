@@ -1,0 +1,327 @@
+"""Sharded DEC execution: per-shard engines plus boundary repair.
+
+The DEC decomposition already isolates most coloring decisions inside
+low-degree partitions; this module lifts that isolation across an
+entire graph cut.  :func:`sharded_color` computes the run-global ADG
+ordering once, cuts the graph into degree-balanced shards along the
+level structure (:func:`repro.runtime.plan_shards`), and runs each
+engine *interior* (:func:`~repro.coloring.dec_adg.color_partitions` /
+:func:`~repro.coloring.dec_adg_itr.itr_color_partitions`) on its own
+induced subgraph — in separate processes over shared-memory segments
+on the process backend, inline otherwise, with bit-identical colors
+and accounting either way (:class:`repro.runtime.ShardedContext`).
+
+Shard engines speculate: interior edges are certainly bichromatic (each
+shard's coloring is locally valid), but the plan's cross-shard edges
+may come back monochromatic.  The *boundary repair* protocol then
+fixes exactly those: detect conflicted cross edges, demote the
+lexicographically smaller ``(level, priority)`` endpoint of each to
+the active set, and re-run mex-style recoloring rounds until no
+conflict remains.  Quality survives because every recolor is capped by
+the run-global deg_l bound (Lemma 4): a vertex first tries the
+smallest color free among *all* neighbors; if that exceeds its cap
+``(1+mu) * deg_l(v)`` (DEC-ADG) or ``deg_l(v) + 1`` (ITR), it falls
+back to the smallest color free among same-or-higher-level neighbors —
+which always fits under the cap — and any strictly-lower-level
+committed neighbor it thereby collides with cascades into the active
+set (lower levels yield to higher levels, exactly the DEC invariant).
+So the sharded run keeps the engine's paper bound: (2+eps)d for
+DEC-ADG, 2(1+eps)d + 1 for DEC-ADG-ITR.
+
+When the shard executor's respawn budget is exhausted (chaos testing,
+real worker loss) the layer degrades to unsharded execution *in the
+same run*: the interior is re-run on the whole graph with the same
+ordering, seed, and priority, producing exactly the colors the plain
+engine would — one level down the sturdiness ladder, never a worse
+answer.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..machine.costmodel import log2_ceil
+from ..ordering.adg import adg_ordering
+from ..ordering.base import random_tiebreak
+from ..primitives.kernels import grouped_mex, segment_any
+from ..runtime import ExecutionContext, ShardedContext, plan_shards
+from .dec_adg import color_partitions
+from .dec_adg_itr import itr_color_partitions
+from .result import ColoringResult
+
+#: Engines whose interior is SIM-COL (random draws, (2+eps)d bound).
+_SIMCOL_FAMILY = ("DEC-ADG", "DEC-ADG-M")
+
+#: The dotted runner handed to the runtime layer (resolved in workers).
+SHARD_RUNNER = "repro.coloring.sharded:run_shard_local"
+
+
+def _shard_seed(seed: int | None, sid: int) -> int | None:
+    """Decorrelate shard RNG streams, deterministically in (seed, sid)."""
+    if seed is None:
+        return None
+    return (int(seed) + 0x9E3779B1 * (sid + 1)) % (2**63 - 1)
+
+
+def _interior(g: CSRGraph, algorithm: str, levels: np.ndarray,
+              num_levels: int, eps: float, seed: int | None,
+              priority: np.ndarray, ctx: ExecutionContext,
+              max_rounds: int | None) -> tuple[np.ndarray, int, int]:
+    """Run one engine interior on ``g``; returns (colors, rounds,
+    conflicts).  On the whole graph with the run seed this reproduces
+    the plain unsharded engine exactly (the degradation contract)."""
+    if algorithm in _SIMCOL_FAMILY:
+        rng = np.random.default_rng(seed)
+        colors, rounds = color_partitions(g, levels, num_levels, eps / 4.0,
+                                          rng, ctx, max_rounds=max_rounds)
+        return colors, rounds, 0
+    return itr_color_partitions(g, levels, num_levels, priority, ctx,
+                                max_rounds=max_rounds)
+
+
+def run_shard_local(arrays: dict, *, algorithm: str, eps: float,
+                    seed: int | None, num_levels: int,
+                    max_rounds: int | None, shard: int) -> dict:
+    """One shard engine, start to finish (worker or inline).
+
+    ``arrays`` holds the shard's sub-CSR plus its slices of the
+    run-global level and priority arrays — zero-copy shared-memory
+    views in a pool worker, the coordinator's own arrays inline.  The
+    engine runs on a fresh quiet serial context (shard-level recovery
+    belongs to the coordinator, so chunk-level fault injection is
+    forced off) and writes 1-based colors into ``arrays['colors']`` in
+    place.  Returns a picklable record: the shard's accounting books
+    and round/conflict counts, which the coordinator merges in shard
+    order — making the books independent of worker scheduling.
+    """
+    g = CSRGraph(indptr=np.asarray(arrays["indptr"]),
+                 indices=np.asarray(arrays["indices"]),
+                 name=f"shard{shard}")
+    levels = np.asarray(arrays["levels"])
+    priority = np.asarray(arrays["priority"])
+    ctx = ExecutionContext(backend="serial", trace=False, faults=False)
+    try:
+        colors, rounds, conflicts = _interior(
+            g, algorithm, levels, num_levels, eps, seed, priority, ctx,
+            max_rounds)
+        arrays["colors"][...] = colors
+    finally:
+        ctx.close()
+    return {"shard": shard, "n": g.n, "m": g.m, "rounds": int(rounds),
+            "conflicts": int(conflicts), "cost": ctx.cost, "mem": ctx.mem}
+
+
+def _deg_ge(g: CSRGraph, levels: np.ndarray,
+            ctx: ExecutionContext) -> np.ndarray:
+    """deg_l(v): neighbors of v in its own or higher levels — the
+    run-global Lemma-4 quantity that caps every repair recolor."""
+    src, dst = g.edge_array()
+    ge = levels[dst] >= levels[src]
+    ctx.cost.round(4 * g.m + g.n, 1)
+    ctx.mem.stream(4 * g.m, "shard:repair")
+    return np.bincount(src[ge], minlength=g.n).astype(np.int64)
+
+
+def _boundary_repair(g: CSRGraph, colors: np.ndarray, levels: np.ndarray,
+                     priority: np.ndarray, plan, eps: float,
+                     algorithm: str, ctx: ExecutionContext,
+                     max_rounds: int | None) -> tuple[int, int]:
+    """Certify the plan's cross-shard edges; recolor until conflict-free.
+
+    Mutates ``colors`` in place; returns ``(rounds, recolored)`` where
+    ``recolored`` counts recoloring attempts (the sharded analogue of
+    conflicts resolved).  Every chosen color is <= the vertex's cap, so
+    the engine's quality bound is preserved — see the module docstring
+    for the cascade argument.
+    """
+    u, v = plan.cross_u, plan.cross_v
+    tracer = ctx.tracer
+    cost, mem = ctx.cost, ctx.mem
+    if u.size == 0:
+        return 0, 0
+    bad = colors[u] == colors[v]
+    cost.round(2 * int(u.size), 1)
+    mem.gather(2 * int(u.size), "shard:repair")
+    if not bad.any():
+        return 0, 0
+
+    deg_ge = _deg_ge(g, levels, ctx)
+    if algorithm in _SIMCOL_FAMILY:
+        cap = np.maximum(1, np.ceil((1.0 + eps / 4.0)
+                                    * deg_ge)).astype(np.int64)
+    else:
+        cap = deg_ge + 1
+
+    # Exactly one endpoint of each conflicted edge yields: the
+    # lexicographically smaller (level, priority) — lower levels defer
+    # to higher ones, as everywhere in DEC.
+    uu, vv = u[bad], v[bad]
+    u_loses = (levels[uu] < levels[vv]) | \
+        ((levels[uu] == levels[vv]) & (priority[uu] < priority[vv]))
+    active = np.unique(np.where(u_loses, uu, vv))
+
+    limit = max_rounds if max_rounds is not None else 4 * g.n + 64
+    is_active = np.zeros(g.n, dtype=bool)
+    rounds = 0
+    recolored = 0
+    while active.size:
+        rounds += 1
+        if rounds > limit:
+            raise RuntimeError("boundary repair failed to converge")
+        recolored += int(active.size)
+
+        # Speculate: mex over all neighbors if it fits the cap, else
+        # the always-fitting mex over same-or-higher-level neighbors.
+        colors[active] = 0
+        seg, nbrs = g.batch_neighbors(active)
+        ncol = colors[nbrs]
+        c_all = grouped_mex(seg, ncol, active.size, scratch=ctx.scratch)
+        lv_act = levels[active]
+        ge = levels[nbrs] >= lv_act[seg]
+        c_ge = grouped_mex(seg, np.where(ge, ncol, 0), active.size,
+                           scratch=ctx.scratch)
+        chosen = np.where(c_all <= cap[active], c_all, c_ge)
+        colors[active] = chosen
+
+        # Detect: active-active ties resolve by (level, priority);
+        # an active-committed collision (only possible against a
+        # strictly lower level, via c_ge) cascades the committed
+        # vertex — but only under winners, losers retry first.
+        ncol = colors[nbrs]
+        same = ncol == chosen[seg]
+        is_active[active] = True
+        act_nbr = is_active[nbrs]
+        pr_act = priority[active]
+        beaten = same & act_nbr & (
+            (levels[nbrs] > lv_act[seg]) |
+            ((levels[nbrs] == lv_act[seg]) & (priority[nbrs] > pr_act[seg])))
+        self_lost = segment_any(beaten, seg, active.size)
+        cascade = np.unique(nbrs[same & ~act_nbr & ~self_lost[seg]])
+
+        cost.round(2 * int(active.size) + 4 * int(nbrs.size),
+                   log2_ceil(max(g.max_degree, 1)) + 1)
+        mem.gather(2 * int(nbrs.size), "shard:repair")
+        if tracer.enabled:
+            tracer.gauge("shard.repair_active", int(active.size),
+                         round=rounds)
+            tracer.count("shard.repair_recolored", int(active.size),
+                         round=rounds)
+        is_active[active] = False
+        active = np.union1d(active[self_lost], cascade)
+    return rounds, recolored
+
+
+def sharded_color(g: CSRGraph, algorithm: str, eps: float,
+                  seed: int | None, ctx: ExecutionContext, n_shards: int,
+                  variant: str = "avg", update: str = "push",
+                  max_rounds: int | None = None) -> ColoringResult:
+    """Run a DEC-family engine through the sharding layer.
+
+    The coordinator computes the global ADG ordering (the engine's own
+    eps discipline: eps/12 for DEC-ADG, eps for DEC-ADG-ITR), plans
+    the shards over the level structure, dispatches one engine
+    interior per shard through :class:`~repro.runtime.ShardedContext`,
+    merges colors and books in shard order, and repairs the boundary.
+    The result carries the full ``shards`` digest (plan, executor,
+    repair, per-shard rows).
+    """
+    tracer = ctx.tracer
+    t0 = time.perf_counter()
+    if algorithm in _SIMCOL_FAMILY:
+        ordering = adg_ordering(g, eps=eps / 12.0, variant=variant,
+                                update=update, seed=seed, ctx=ctx)
+    else:
+        ordering = adg_ordering(g, eps=eps, variant=variant, seed=seed,
+                                ctx=ctx)
+    reorder_wall = time.perf_counter() - t0
+    levels = ordering.levels
+    assert levels is not None
+    num_levels = ordering.num_levels
+
+    t0 = time.perf_counter()
+    with ctx.phase("shard:plan"):
+        plan = plan_shards(g, max(1, min(n_shards, max(1, g.n))),
+                           levels=levels)
+        ctx.cost.round(g.n + 2 * g.m, log2_ceil(max(g.n, 1)))
+        ctx.mem.gather(2 * g.m, "shard:plan")
+    if tracer.enabled:
+        tracer.gauge("shard.count", plan.n_shards)
+        tracer.count("shard.cut_edges", plan.cut_edges)
+    priority = random_tiebreak(g.n, seed)
+
+    sctx = ShardedContext(ctx, plan, SHARD_RUNNER)
+    records = None
+    if plan.n_shards > 1:
+        shard_arrays: list[dict] = []
+        shard_scalars: list[dict] = []
+        for s in plan.shards:
+            verts = s.vertices
+            shard_arrays.append({
+                "indptr": s.sub.graph.indptr,
+                "indices": s.sub.graph.indices,
+                "levels": np.ascontiguousarray(levels[verts]),
+                "priority": np.ascontiguousarray(priority[verts]),
+                "colors": np.zeros(verts.size, dtype=np.int64),
+            })
+            shard_scalars.append({
+                "algorithm": algorithm, "eps": eps,
+                "seed": _shard_seed(seed, s.sid),
+                "num_levels": int(num_levels),
+                "max_rounds": max_rounds, "shard": s.sid,
+            })
+        with ctx.phase("shard:color"):
+            records = sctx.run(shard_arrays, shard_scalars)
+
+    per_shard: list[dict] = []
+    repair_rounds = repair_recolored = 0
+    if records is None:
+        # Single shard, or respawn budget exhausted: unsharded
+        # execution in this same run — identical colors to the plain
+        # engine (same ordering, seed, and priority).
+        colors, rounds_total, conflicts_total = _interior(
+            g, algorithm, levels, num_levels, eps, seed, priority, ctx,
+            max_rounds)
+    else:
+        colors = np.zeros(g.n, dtype=np.int64)
+        rounds_total = conflicts_total = 0
+        for s, arrays, rec in zip(plan.shards, shard_arrays, records):
+            colors[s.vertices] = arrays["colors"]
+            ctx.cost.merge(rec["cost"])
+            ctx.mem.merge(rec["mem"])
+            rounds_total += rec["rounds"]
+            conflicts_total += rec["conflicts"]
+            per_shard.append({
+                "shard": s.sid, "n": s.n, "m": s.m,
+                "rounds": rec["rounds"], "conflicts": rec["conflicts"],
+                "work": rec["cost"].work,
+                "wall_s": round(rec["t1"] - rec["t0"], 6),
+                "pid": rec.get("pid"), "rss_kb": rec.get("rss_kb", 0),
+                "bytes": s.nbytes,
+            })
+        with ctx.phase("shard:repair"):
+            repair_rounds, repair_recolored = _boundary_repair(
+                g, colors, levels, priority, plan, eps, algorithm, ctx,
+                max_rounds)
+        rounds_total += repair_rounds
+        conflicts_total += repair_recolored
+    wall = time.perf_counter() - t0
+
+    digest = {**plan.digest(), **sctx.digest(),
+              "repair_rounds": repair_rounds,
+              "repair_recolored": repair_recolored,
+              "per_shard": per_shard}
+    return ColoringResult(algorithm=algorithm, colors=colors, cost=ctx.cost,
+                          mem=ctx.mem, reorder_cost=ordering.cost,
+                          reorder_mem=ordering.mem, rounds=rounds_total,
+                          conflicts_resolved=conflicts_total,
+                          wall_seconds=wall,
+                          reorder_wall_seconds=reorder_wall,
+                          backend=ctx.backend, workers=ctx.workers,
+                          phase_walls=dict(ctx.wall_by_phase),
+                          trace_summary=ctx.trace_summary(),
+                          faults=ctx.fault_record(),
+                          dispatch=ctx.dispatch_record(),
+                          shards=digest)

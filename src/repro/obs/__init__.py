@@ -17,6 +17,7 @@ from .profile import (
     imbalance_breakdown,
     phase_breakdown,
     round_breakdown,
+    shard_breakdown,
 )
 from .sinks import jsonl_records, read_jsonl, write_jsonl
 from .tracer import (
@@ -35,7 +36,7 @@ __all__ = [
     "dispatch_breakdown",
     "fault_breakdown", "imbalance_breakdown", "jsonl_records",
     "phase_breakdown",
-    "read_jsonl", "resolve_tracer", "round_breakdown",
+    "read_jsonl", "resolve_tracer", "round_breakdown", "shard_breakdown",
     "validate_chrome", "validate_jsonl", "validate_trace_file",
     "write_chrome_trace", "write_jsonl",
 ]

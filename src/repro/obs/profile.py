@@ -122,6 +122,52 @@ def dispatch_breakdown(result) -> list[dict]:
     return rows
 
 
+def shard_breakdown(result) -> list[dict]:
+    """Sharding-layer rows for one run, from ``result.shards``.
+
+    One row per shard (size, boundary/ghost counts, working-set bytes,
+    and — when the shard actually ran — its engine's rounds, wall,
+    work, and peak RSS), then one ``repair`` row with the cut-edge
+    count and the boundary protocol's rounds/recolors, and a
+    ``degraded`` row when the run fell back to unsharded execution.
+    Empty when the run did not go through the sharding layer — the
+    profile section is omitted then.
+    """
+    rec = getattr(result, "shards", None)
+    if not rec:
+        return []
+    per = {r["shard"]: r for r in rec.get("per_shard", [])}
+    rows = []
+    for sid in range(rec["n_shards"]):
+        r = per.get(sid)
+        rows.append({
+            "shard": sid,
+            "n": rec["sizes"][sid], "edges": rec["edges"][sid],
+            "boundary": rec["boundary"][sid], "ghosts": rec["ghosts"][sid],
+            "bytes": rec["bytes"][sid],
+            "rounds": r["rounds"] if r else "",
+            "conflicts": r["conflicts"] if r else "",
+            "wall_ms": round(r["wall_s"] * 1e3, 3) if r else "",
+            "work": r["work"] if r else "",
+            "rss_kb": r["rss_kb"] if r else "",
+        })
+    rows.append({
+        "shard": "repair", "n": "", "edges": rec["cut_edges"],
+        "boundary": "", "ghosts": "", "bytes": "",
+        "rounds": rec["repair_rounds"],
+        "conflicts": rec["repair_recolored"],
+        "wall_ms": "", "work": "", "rss_kb": "",
+    })
+    if rec.get("degraded"):
+        rows.append({
+            "shard": "degraded", "n": "", "edges": "", "boundary": "",
+            "ghosts": "", "bytes": "", "rounds": "", "conflicts": "",
+            "wall_ms": "", "work": "",
+            "rss_kb": f"respawns={rec.get('respawns', 0)}",
+        })
+    return rows
+
+
 def imbalance_breakdown(tracer) -> list[dict]:
     """One row per multi-chunk round: chunk count and max/mean wall."""
     if not tracer.enabled:

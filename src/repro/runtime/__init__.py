@@ -27,13 +27,23 @@ from .faults import (
     resolve_fault_plan,
 )
 from .kernels import KERNELS, Kernel
-from .shm import SharedArena
+from .shard import (
+    ShardedContext,
+    ShardError,
+    ShardPlan,
+    ShardSpec,
+    default_shards,
+    plan_shards,
+)
+from .shm import SharedArena, live_segment_names
 
 __all__ = [
     "ADAPTIVE_MODES", "BACKENDS", "CHUNKS_PER_WORKER", "ChunkError",
     "DispatchEstimator", "ExecutionContext",
     "FaultInjected", "FaultPlan", "FaultSpec", "KERNELS", "Kernel",
+    "ShardError", "ShardPlan", "ShardSpec", "ShardedContext",
     "SharedArena", "WorkerDeath", "default_adaptive", "default_backend",
-    "default_weighted_chunks", "resolve_adaptive", "resolve_context",
+    "default_shards", "default_weighted_chunks", "live_segment_names",
+    "plan_shards", "resolve_adaptive", "resolve_context",
     "resolve_fault_plan",
 ]

@@ -126,6 +126,7 @@ from .faults import (
     resolve_fault_plan,
 )
 from .kernels import Kernel
+from .shard import default_shards
 from .shm import SharedArena, create_pool, run_kernel_task
 
 T = TypeVar("T")
@@ -236,6 +237,16 @@ class ExecutionContext:
         ``'parallel'``; booleans map to on/off and ``None`` resolves
         via ``$REPRO_ADAPTIVE``, else on.  Results are bit-identical
         in every mode — the decision moves scheduling only.
+    shards:
+        Shard count for the sharding layer (:mod:`repro.runtime.shard`):
+        engines that support sharded execution (the DEC family) split
+        the run into this many per-shard engines.  ``None`` resolves
+        via ``$REPRO_SHARDS``; 0 (the default) and 1 mean unsharded.
+        Like the backend, the knob is run-wide (carried on the pool
+        host) and readable through the :attr:`shards` property;
+        :meth:`sharded` flips it fluently.  Colors are shard-count
+        independent — the boundary-repair protocol restores exactly
+        the engine's quality bound.
 
     The context is a context manager; the thread pool is created lazily
     on first threaded :meth:`map_chunks` and shut down by
@@ -255,6 +266,7 @@ class ExecutionContext:
                  round_timeout: float | None = None,
                  max_respawns: int | None = None,
                  adaptive=None,
+                 shards: int | None = None,
                  _pool_host: "ExecutionContext | None" = None):
         # The host carries the run-wide state (pool, arena, backend,
         # fault budgets, round counter); set it before anything that
@@ -314,6 +326,24 @@ class ExecutionContext:
             self._estimator = DispatchEstimator() \
                 if self.adaptive != "off" else None
             self._scratch = ScratchArena()
+            self._shards = shards if shards is not None else default_shards()
+            if self._shards < 0:
+                raise ValueError(f"shards must be >= 0, "
+                                 f"got {self._shards}")
+
+    @property
+    def shards(self) -> int:
+        """The run's shard count (0/1 = unsharded) — run-wide, like
+        the backend."""
+        return self._pool_host._shards
+
+    def sharded(self, n_shards: int) -> "ExecutionContext":
+        """Set the run-wide shard count; returns ``self`` for fluent
+        use: ``ExecutionContext(backend='process').sharded(4)``."""
+        if n_shards < 0:
+            raise ValueError(f"n_shards must be >= 0, got {n_shards}")
+        self._pool_host._shards = n_shards
+        return self
 
     @property
     def backend(self) -> str:
@@ -818,8 +848,12 @@ class ExecutionContext:
         same backend and re-dispatches only the lost chunks; after
         that, the run degrades one backend level (process -> threaded
         -> serial) and the budget resets for the new backend.  The
-        arena is *not* torn down — existing shared views stay valid on
-        the degraded backend.
+        arena's *mappings* survive a degradation — existing shared
+        views stay valid on the degraded backend — but its segment
+        names are unlinked the moment the run leaves the process
+        backend: no worker will ever attach again, and an unlinked
+        segment stops claiming ``/dev/shm`` space the moment the last
+        view goes away instead of leaking until garbage collection.
         """
         host = self._pool_host
         backend = host._backend
@@ -840,6 +874,8 @@ class ExecutionContext:
         lower = BACKENDS[BACKENDS.index(backend) - 1]
         host._backend = lower
         host._respawns = 0
+        if backend == "process" and host._arena is not None:
+            host._arena.unlink_all()
         self._fault_count("fault.degradations", rid)
         self._fault_event({"kind": "degrade", "from": backend,
                            "to": lower, "round": rid})
@@ -971,7 +1007,8 @@ def resolve_context(ctx: ExecutionContext | None,
                     trace=None,
                     weighted_chunks: bool | None = None,
                     faults=None,
-                    adaptive=None) -> tuple[ExecutionContext, bool]:
+                    adaptive=None,
+                    shards: int | None = None) -> tuple[ExecutionContext, bool]:
     """Return ``(context, owns)`` for an engine entry point.
 
     When the caller supplied a context it is used as-is (``owns`` False:
@@ -986,4 +1023,5 @@ def resolve_context(ctx: ExecutionContext | None,
                             cost=cost, mem=mem, crew=crew,
                             trace=trace,
                             weighted_chunks=weighted_chunks,
-                            faults=faults, adaptive=adaptive), True
+                            faults=faults, adaptive=adaptive,
+                            shards=shards), True

@@ -28,15 +28,23 @@ Plan grammar (``$REPRO_FAULTS`` or the ``faults=`` argument)::
 
     plan   := clause (';' clause)*
     clause := KIND '@' ROUND '.' CHUNK [':' PARAM] ['x' TIMES]
+            | KIND '@' 's' SHARD [':' PARAM] ['x' TIMES]
             | KIND '%' RATE [':' PARAM]
             | 'seed=' INT
     KIND   := 'error' | 'delay' | 'kill'
-    ROUND, CHUNK := non-negative int, or '*' (any)
+    ROUND, CHUNK, SHARD := non-negative int, or '*' (any)
     PARAM  := float (delay seconds; ignored for error/kill)
     TIMES  := fire on the first TIMES attempts of a coordinate (default 1)
     RATE   := float in [0, 1] — probabilistic clause, decided by a
               seeded hash of (seed, clause, round, chunk); first
               attempts only, so retries always make progress
+
+Shard-addressed clauses (``KIND@sSHARD``) target the sharding layer
+(:mod:`repro.runtime.shard`): the coordinate is the shard id of a
+dispatched shard engine, drawn through :meth:`FaultPlan.draw_shard`
+once per (shard, attempt).  They are invisible to the per-chunk
+:meth:`FaultPlan.draw` — and vice versa — so one plan can exercise both
+granularities without cross-talk.
 
 Examples::
 
@@ -45,6 +53,9 @@ Examples::
                          # retry budget < 5 -> ChunkError)
     delay@7.2:0.25       # chunk 2 of round 7 sleeps 250 ms first
     kill@5.*             # every chunk of round 5 kills its worker
+    kill@s1              # shard 1's engine worker dies on attempt 1
+    kill@s*x99           # every shard dies on every attempt (exhausts
+                         # the respawn budget -> unsharded degradation)
     error%0.01;seed=42   # 1% of all (round, chunk) dispatches fail once
 
 Explicit and probabilistic clauses only fire while ``attempt`` stays in
@@ -83,6 +94,9 @@ class FaultSpec:
 
     ``round``/``chunk`` of ``None`` are wildcards; ``rate`` switches
     the clause to probabilistic mode (coordinates are ignored then).
+    A ``shard`` coordinate (a shard id, or ``'*'`` as the any-shard
+    wildcard) makes the clause shard-addressed: matched only by
+    :meth:`FaultPlan.draw_shard`, never by the per-chunk draw.
     """
 
     kind: str
@@ -91,6 +105,7 @@ class FaultSpec:
     param: float = 0.0
     times: int = 1
     rate: float | None = None
+    shard: int | str | None = None
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -102,10 +117,17 @@ class FaultSpec:
             raise ValueError(f"fault times must be >= 1, got {self.times}")
         if self.rate is not None and not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.shard is not None and self.shard != "*" \
+                and (not isinstance(self.shard, int) or self.shard < 0):
+            raise ValueError(f"fault shard must be a non-negative int or "
+                             f"'*', got {self.shard!r}")
 
 
 _CLAUSE_AT = re.compile(
     r"^(error|delay|kill)@(\d+|\*)\.(\d+|\*)"
+    r"(?::([0-9]*\.?[0-9]+))?(?:x(\d+))?$")
+_CLAUSE_SHARD = re.compile(
+    r"^(error|delay|kill)@s(\d+|\*)"
     r"(?::([0-9]*\.?[0-9]+))?(?:x(\d+))?$")
 _CLAUSE_RATE = re.compile(
     r"^(error|delay|kill)%([0-9]*\.?[0-9]+)(?::([0-9]*\.?[0-9]+))?$")
@@ -160,6 +182,16 @@ class FaultPlan:
                     (DEFAULT_DELAY if kind == "delay" else 0.0),
                     times=int(times) if times else 1))
                 continue
+            m = _CLAUSE_SHARD.match(clause)
+            if m:
+                kind, shard, param, times = m.groups()
+                specs.append(FaultSpec(
+                    kind=kind,
+                    shard="*" if shard == "*" else int(shard),
+                    param=float(param) if param else
+                    (DEFAULT_DELAY if kind == "delay" else 0.0),
+                    times=int(times) if times else 1))
+                continue
             m = _CLAUSE_RATE.match(clause)
             if m:
                 kind, rate, param = m.groups()
@@ -170,8 +202,8 @@ class FaultPlan:
                 continue
             raise ValueError(
                 f"bad fault clause {clause!r}; expected "
-                f"kind@round.chunk[:param][xN], kind%rate[:param], "
-                f"or seed=N with kind in {KINDS}")
+                f"kind@round.chunk[:param][xN], kind@sSHARD[:param][xN], "
+                f"kind%rate[:param], or seed=N with kind in {KINDS}")
         return cls(specs, seed=seed)
 
     @classmethod
@@ -195,14 +227,36 @@ class FaultPlan:
 
         Called once per (round, chunk, attempt) by the runtime; the
         first matching clause wins and is tallied in ``fired``.
+        Shard-addressed clauses never match here (see
+        :meth:`draw_shard`).
         """
         for idx, s in enumerate(self.specs):
+            if s.shard is not None:
+                continue
             if s.rate is not None:
                 if attempt <= s.times and self._coin(idx, round,
                                                      chunk) < s.rate:
                     break
             elif (s.round in (None, round) and s.chunk in (None, chunk)
                     and attempt <= s.times):
+                break
+        else:
+            return None
+        self.fired[s.kind] = self.fired.get(s.kind, 0) + 1
+        return s
+
+    def draw_shard(self, shard: int, attempt: int = 1) -> FaultSpec | None:
+        """The fault to inject into one shard-engine dispatch, if any.
+
+        The sharding layer calls this once per (shard, attempt); only
+        shard-addressed clauses participate, so chunk-level plans run
+        untouched under sharding (shard workers drawing chunk faults
+        from their own contexts) and shard plans never perturb chunk
+        rounds.
+        """
+        for s in self.specs:
+            if s.shard is not None and s.shard in ("*", shard) \
+                    and attempt <= s.times:
                 break
         else:
             return None

@@ -34,11 +34,33 @@ import multiprocessing as mp
 import os
 import sys
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from typing import NamedTuple
 
 import numpy as np
 from multiprocessing import shared_memory
+
+#: Every live arena, for leak checks: tests (and the CI chaos job) can
+#: assert that a recovery path left no named segment behind.  Weak refs
+#: only — the registry never extends an arena's lifetime.
+_ARENAS: "weakref.WeakSet[SharedArena]" = weakref.WeakSet()
+
+
+def live_segment_names() -> list[str]:
+    """Names of every shared segment still linked by a live arena.
+
+    The ground truth for the no-leak contract: after a run closes (or
+    degrades off the process backend) this list must not contain the
+    run's segments — an entry here is a name still claiming space under
+    ``/dev/shm`` that only interpreter exit would reclaim.
+    """
+    names = []
+    for arena in list(_ARENAS):
+        for slot in arena._slots.values():
+            if not slot.unlinked:
+                names.append(slot.shm.name)
+    return sorted(names)
 
 
 class ArraySpec(NamedTuple):
@@ -52,13 +74,14 @@ class ArraySpec(NamedTuple):
 class _Slot:
     """One named shared segment plus the coordinator's current view."""
 
-    __slots__ = ("shm", "capacity", "view", "spec")
+    __slots__ = ("shm", "capacity", "view", "spec", "unlinked")
 
     def __init__(self, shm: shared_memory.SharedMemory, capacity: int):
         self.shm = shm
         self.capacity = capacity
         self.view: np.ndarray | None = None
         self.spec: ArraySpec | None = None
+        self.unlinked = False
 
 
 class SharedArena:
@@ -69,6 +92,7 @@ class SharedArena:
         self.bytes_allocated = 0
         self.puts = 0
         self.reuses = 0
+        _ARENAS.add(self)
 
     # -- coordinator API -----------------------------------------------------
 
@@ -116,6 +140,21 @@ class SharedArena:
         """Is ``arr`` one of the arena's current views?"""
         return any(slot.view is arr for slot in self._slots.values())
 
+    def get(self, name: str) -> np.ndarray | None:
+        """The named slot's current shared view, or ``None``."""
+        slot = self._slots.get(name)
+        return slot.view if slot is not None else None
+
+    @staticmethod
+    def _unlink(slot: _Slot) -> None:
+        if slot.unlinked:
+            return
+        slot.unlinked = True
+        try:
+            slot.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
     @staticmethod
     def _release(slot: _Slot) -> None:
         slot.view = None
@@ -125,10 +164,21 @@ class SharedArena:
             # A live engine view still points into the segment; the
             # mapping is released when that view is garbage-collected.
             pass
-        try:
-            slot.shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already gone
-            pass
+        SharedArena._unlink(slot)
+
+    def unlink_all(self) -> None:
+        """Unlink every segment *name* while keeping the mappings alive.
+
+        The backend-degradation path calls this the moment a run leaves
+        the process backend for good: no new worker will ever attach, so
+        the names can be released immediately instead of leaking under
+        ``/dev/shm`` until garbage collection.  Existing coordinator
+        views stay valid — an unlinked segment's memory lives until the
+        last mapping closes — so engines holding shared state keep
+        running unchanged on the degraded backend.
+        """
+        for slot in self._slots.values():
+            self._unlink(slot)
 
     def close(self) -> None:
         """Unlink every segment.  Call after the worker pool is down."""

@@ -7,7 +7,12 @@ from hypothesis import strategies as st
 
 from repro.graphs.builders import from_edges
 from repro.graphs.generators import complete_graph, gnm_random
-from repro.graphs.subgraph import degrees_within, edges_within, induced_subgraph
+from repro.graphs.subgraph import (
+    degrees_within,
+    edges_within,
+    induced_subgraph,
+    shard_extract,
+)
 
 from .conftest import graphs
 
@@ -56,6 +61,84 @@ class TestInducedSubgraph:
             if a in in_sub and b in in_sub:
                 expected += 1
         assert sub.m == expected
+
+
+class TestIndexMap:
+    def test_inverse_of_vertices(self):
+        g = gnm_random(40, 160, seed=5)
+        sub = induced_subgraph(g, np.arange(1, 40, 3))
+        np.testing.assert_array_equal(sub.to_local(sub.vertices),
+                                      np.arange(sub.n))
+        outside = np.setdiff1d(np.arange(g.n), sub.vertices)
+        assert (sub.to_local(outside) == -1).all()
+
+    def test_unsorted_subset(self):
+        g = complete_graph(5)
+        sub = induced_subgraph(g, np.array([4, 0, 2]))
+        np.testing.assert_array_equal(sub.to_local(np.array([4, 0, 2])),
+                                      [0, 1, 2])
+        assert sub.to_local(np.array([1]))[0] == -1
+
+    @given(graphs(), st.randoms())
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip(self, g, rnd):
+        subset = np.asarray([v for v in range(g.n) if rnd.random() < 0.5],
+                            dtype=np.int64)
+        sub = induced_subgraph(g, subset)
+        local = np.arange(sub.n, dtype=np.int64)
+        np.testing.assert_array_equal(sub.to_local(sub.to_original(local)),
+                                      local)
+
+    def test_sorted_and_shuffled_subsets_agree(self):
+        # The ascending fast path (no lexsort) and the general path
+        # must produce the same graph up to the relabeling.
+        g = gnm_random(50, 250, seed=6)
+        subset = np.arange(0, 50, 2)
+        shuffled = subset.copy()
+        np.random.default_rng(0).shuffle(shuffled)
+        a = induced_subgraph(g, subset)
+        b = induced_subgraph(g, shuffled)
+        a.graph.validate()
+        b.graph.validate()
+
+        def edge_set(sub):
+            u, v = sub.graph.undirected_edges()
+            ou, ov = sub.to_original(u), sub.to_original(v)
+            return {(min(x, y), max(x, y)) for x, y in zip(ou, ov)}
+
+        assert edge_set(a) == edge_set(b)
+
+
+class TestShardExtract:
+    def test_matches_bruteforce(self):
+        g = gnm_random(40, 200, seed=7)
+        subset = np.arange(0, 40, 2)
+        sub, boundary, ghosts = shard_extract(g, subset)
+        in_sub = set(subset.tolist())
+        exp_boundary, exp_ghosts = set(), set()
+        u, v = g.undirected_edges()
+        for a, b in zip(u.tolist(), v.tolist()):
+            if a in in_sub and b not in in_sub:
+                exp_boundary.add(a)
+                exp_ghosts.add(b)
+            elif b in in_sub and a not in in_sub:
+                exp_boundary.add(b)
+                exp_ghosts.add(a)
+        assert set(boundary.tolist()) == exp_boundary
+        assert set(ghosts.tolist()) == exp_ghosts
+        assert sub.m == induced_subgraph(g, subset).m
+
+    def test_whole_graph_has_no_ghosts(self):
+        g = gnm_random(20, 60, seed=8)
+        _, boundary, ghosts = shard_extract(g, np.arange(g.n))
+        assert boundary.size == 0 and ghosts.size == 0
+
+    def test_isolated_subset(self):
+        g = from_edges([0, 1], [1, 2], n=4)  # path 0-1-2, vertex 3 isolated
+        sub, boundary, ghosts = shard_extract(g, np.array([0, 3]))
+        assert sub.m == 0
+        np.testing.assert_array_equal(boundary, [0])
+        np.testing.assert_array_equal(ghosts, [1])
 
 
 class TestDegreesWithin:
