@@ -43,6 +43,18 @@ REPEATS = 3
 ROWS = [("serial", 1), ("threaded", 4), ("process", 4)]
 DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
                            "BENCH_backends.json")
+DEFAULT_LEDGER = os.path.join(os.path.dirname(__file__), "..",
+                              "results", "ledger.jsonl")
+
+
+def _ledger():
+    """Flight-recorder sink: ``$REPRO_LEDGER`` wins (incl. ``off``);
+    otherwise the repo's ``results/ledger.jsonl``."""
+    from repro.obs.ledger import resolve_ledger
+
+    if "REPRO_LEDGER" in os.environ:
+        return resolve_ledger(None)
+    return resolve_ledger(DEFAULT_LEDGER)
 
 
 def _graphs() -> list:
@@ -162,6 +174,11 @@ def main(argv: list[str] | None = None) -> int:
     with open(out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
+    book = _ledger()
+    if book.enabled:
+        from repro.obs.ledger import bench_record
+        for row in walls + balance:
+            book.append(bench_record("backends", row))
     for row in walls:
         over = row.get("dispatch_overhead_s")
         extra = f" ({over*1e6:.0f} us/round dispatch)" if over else ""
@@ -175,6 +192,9 @@ def main(argv: list[str] | None = None) -> int:
     if os.cpu_count() == 1:
         print("note: single-CPU host; parallel backends cannot beat serial")
     print(f"wrote {out}")
+    if book.enabled:
+        print(f"appended {len(walls) + len(balance)} bench record(s) "
+              f"to {book.path}")
     return 0
 
 

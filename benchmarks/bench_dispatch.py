@@ -42,6 +42,18 @@ REPEATS = 5
 ROWS = [("threaded", 4), ("process", 4)]
 DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
                            "BENCH_dispatch.json")
+DEFAULT_LEDGER = os.path.join(os.path.dirname(__file__), "..",
+                              "results", "ledger.jsonl")
+
+
+def _ledger():
+    """Flight-recorder sink: ``$REPRO_LEDGER`` wins (incl. ``off``);
+    otherwise the repo's ``results/ledger.jsonl``."""
+    from repro.obs.ledger import resolve_ledger
+
+    if "REPRO_LEDGER" in os.environ:
+        return resolve_ledger(None)
+    return resolve_ledger(DEFAULT_LEDGER)
 
 
 def _graphs() -> list:
@@ -121,6 +133,11 @@ def main(argv: list[str] | None = None) -> int:
     with open(out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
+    book = _ledger()
+    if book.enabled:
+        from repro.obs.ledger import bench_record
+        for row in rows:
+            book.append(bench_record("dispatch", row))
     for s in summary:
         print(f"{s['graph']} (n={s['n']}): serial {s['serial_wall_s']*1e3:.1f} ms"
               + "".join(f", {b} {s[f'{b}_off_wall_s']*1e3:.1f}"
@@ -132,6 +149,8 @@ def main(argv: list[str] | None = None) -> int:
     if os.cpu_count() == 1:
         print("note: single-CPU host; adaptive converges to the serial wall")
     print(f"wrote {out}")
+    if book.enabled:
+        print(f"appended {len(rows)} bench record(s) to {book.path}")
     return 0
 
 

@@ -40,6 +40,18 @@ N_SHARDS = 4
 ENGINES = {"DEC-ADG": (dec_adg, 6.0), "DEC-ADG-ITR": (dec_adg_itr, 0.01)}
 DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
                            "BENCH_shards.json")
+DEFAULT_LEDGER = os.path.join(os.path.dirname(__file__), "..",
+                              "results", "ledger.jsonl")
+
+
+def _ledger():
+    """Flight-recorder sink: ``$REPRO_LEDGER`` wins (incl. ``off``);
+    otherwise the repo's ``results/ledger.jsonl``."""
+    from repro.obs.ledger import resolve_ledger
+
+    if "REPRO_LEDGER" in os.environ:
+        return resolve_ledger(None)
+    return resolve_ledger(DEFAULT_LEDGER)
 
 
 def _graphs() -> list:
@@ -130,6 +142,11 @@ def main(argv: list[str] | None = None) -> int:
     with open(out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
+    book = _ledger()
+    if book.enabled:
+        from repro.obs.ledger import bench_record
+        for row in rows:
+            book.append(bench_record("shards", row))
     for s in summary:
         print(f"{s['graph']} (n={s['n']}) {s['algorithm']}: "
               f"plain {s['plain_wall_s']*1e3:.1f} ms, "
@@ -141,6 +158,8 @@ def main(argv: list[str] | None = None) -> int:
     bar = max(s["max_bytes_ratio"] for s in summary)
     print(f"acceptance: max per-shard bytes ratio {bar:.3f} (< 0.5 required)")
     print(f"wrote {out}")
+    if book.enabled:
+        print(f"appended {len(rows)} bench record(s) to {book.path}")
     return 0
 
 

@@ -46,6 +46,10 @@ class RunRecord:
     #: under "series", chunk-imbalance stats under "imbalance"), else
     #: None.
     trace_summary: dict | None = None
+    #: Resource-telemetry digest when the run sampled resources
+    #: (coordinator peak RSS / CPU / arena high-water plus per-worker
+    #: probe rows), else None.
+    resources: dict | None = None
 
     @classmethod
     def from_result(cls, g: CSRGraph, d: int, res: ColoringResult,
@@ -66,6 +70,7 @@ class RunRecord:
             backend=res.backend, workers=res.workers,
             phase_walls=dict(res.phase_walls),
             trace_summary=res.trace_summary,
+            resources=res.resources,
         )
 
     def as_dict(self) -> dict:
@@ -114,7 +119,8 @@ def run_suite(graphs: dict[str, CSRGraph],
               algorithm_kwargs: dict[str, dict] | None = None,
               backend: str | None = None,
               workers: int | None = None,
-              trace=False) -> SuiteResult:
+              trace=False,
+              ledger=None) -> SuiteResult:
     """Run each algorithm on each graph; returns all records.
 
     ``algorithm_kwargs`` maps algorithm name -> extra keyword arguments
@@ -131,9 +137,19 @@ def run_suite(graphs: dict[str, CSRGraph],
     :class:`~repro.obs.Tracer` instance instead shares one trace across
     the whole suite (one exportable file; per-record summaries are then
     cumulative snapshots).
+
+    ``ledger`` selects a flight-recorder sink.  ``None`` (the default)
+    leaves recording to the engines' own ``$REPRO_LEDGER`` seam, which
+    appends one ``kind="run"`` record per execution.  Passing a path,
+    ``True``, or a :class:`~repro.obs.Ledger` makes the harness itself
+    append one richer ``kind="suite"`` record per :class:`RunRecord`
+    (carrying the suite's validation verdict) — use one seam or the
+    other, not both, or every run is recorded twice.
     """
     from ..obs import Tracer
+    from ..obs.ledger import NULL_LEDGER, resolve_ledger, run_record
 
+    book = NULL_LEDGER if ledger is None else resolve_ledger(ledger)
     if algorithms is None:
         algorithms = sorted(ALGORITHMS)
     algorithm_kwargs = algorithm_kwargs or {}
@@ -152,4 +168,8 @@ def run_suite(graphs: dict[str, CSRGraph],
                 assert_valid_coloring(g, res.colors)
             eff_eps = kwargs.get("eps", eps)
             out.records.append(RunRecord.from_result(g, d, res, eff_eps))
+            if book.enabled:
+                book.append(run_record(res, graph=g, kind="suite",
+                                       eps=eff_eps,
+                                       valid=True if validate else None))
     return out

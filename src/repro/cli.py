@@ -7,10 +7,14 @@ order    Compute a vertex ordering and report its quality metrics.
 stats    Structural statistics of a graph.
 suite    Run the Fig.-1-style harness over a dataset suite.
 profile  Trace one run and print per-phase / per-round breakdowns.
+obs      Flight recorder: run the fixed perf matrix / check the ledger
+         head against a committed baseline (the regression gate).
 
-Every subcommand accepts ``--trace FILE`` to export a run trace:
-``.jsonl`` writes the structured event log, any other extension writes
-Chrome trace JSON (open at https://ui.perfetto.dev).
+Every subcommand accepts ``--trace FILE`` to export a run trace
+(``.jsonl`` writes the structured event log, any other extension writes
+Chrome trace JSON, open at https://ui.perfetto.dev) and ``--ledger
+FILE`` to append each run's flight-recorder record to a persistent
+JSONL ledger.
 
 Graphs are read from SNAP edge lists, METIS files, or NPZ (by
 extension), or generated on the fly with ``--gen``.
@@ -103,6 +107,8 @@ def cmd_color(args: argparse.Namespace) -> int:
             summary["dispatch"] = res.dispatch
         if res.shards is not None:
             summary["shards"] = res.shards
+        if res.resources is not None:
+            summary["resources"] = res.resources
         print(json.dumps(summary))
     else:
         print(format_table([summary]))
@@ -254,12 +260,15 @@ def cmd_suite(args: argparse.Namespace) -> int:
 
 def cmd_profile(args: argparse.Namespace) -> int:
     """Trace one run and print its per-phase / per-round breakdown."""
+    import os
+
     from .obs import (
         Tracer,
         dispatch_breakdown,
         fault_breakdown,
         imbalance_breakdown,
         phase_breakdown,
+        resource_breakdown,
         round_breakdown,
         shard_breakdown,
     )
@@ -269,8 +278,17 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if args.algorithm in ("JP-ADG", "DEC-ADG-ITR"):
         kwargs["eps"] = args.eps
     tracer = Tracer(path=args.trace or None)
-    res = color(args.algorithm, g, backend=args.backend,
-                workers=args.workers, trace=tracer, **kwargs)
+    # A profile is explicitly about what the run costs, so resource
+    # telemetry defaults on here (still overridable via the env).
+    had_res = "REPRO_RESOURCES" in os.environ
+    if not had_res:
+        os.environ["REPRO_RESOURCES"] = "1"
+    try:
+        res = color(args.algorithm, g, backend=args.backend,
+                    workers=args.workers, trace=tracer, **kwargs)
+    finally:
+        if not had_res:
+            os.environ.pop("REPRO_RESOURCES", None)
     assert_valid_coloring(g, res.colors)
 
     summary = res.summary()
@@ -281,11 +299,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
     faults = fault_breakdown(res)
     dispatch = dispatch_breakdown(res)
     shards = shard_breakdown(res)
+    resources = resource_breakdown(res)
     if args.json:
         print(json.dumps({"summary": summary, "phases": phases,
                           "rounds": rounds, "imbalance": imbalance,
                           "faults": faults, "dispatch": dispatch,
-                          "shards": shards}))
+                          "shards": shards, "resources": resources}))
     else:
         print(format_table([summary]))
         print("\n== per-phase breakdown (exclusive wall) ==")
@@ -305,8 +324,25 @@ def cmd_profile(args: argparse.Namespace) -> int:
         if shards:
             print("\n== sharding layer ==")
             print(format_table(shards))
+        if resources:
+            print("\n== resources (peak RSS / CPU per process) ==")
+            print(format_table(resources))
     flush_trace(tracer)
     return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Flight-recorder commands: run the perf matrix / gate the ledger."""
+    from .obs.regress import check_command, run_matrix
+
+    if args.obs_command == "matrix":
+        n = run_matrix(args.ledger_path, repeats=args.repeats,
+                       seed=args.seed)
+        print(f"{n} run(s) appended to {args.ledger_path}")
+        return 0
+    only = [m.strip() for m in args.only.split(",")] if args.only else None
+    return check_command(args.ledger_path, args.baseline, k=args.k,
+                         only=only, update=args.update)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -336,6 +372,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="export a run trace: .jsonl for the event "
                             "log, anything else for Chrome trace JSON "
                             "(open in Perfetto)")
+        p.add_argument("--ledger", metavar="FILE",
+                       help="append one flight-recorder record per run "
+                            "to this JSONL ledger (same grammar as "
+                            "$REPRO_LEDGER: a path, or 1/on for "
+                            "results/ledger.jsonl); also enables "
+                            "resource telemetry for the run")
         p.add_argument("--faults", metavar="SPEC",
                        help="deterministic fault plan for chaos runs, "
                             "e.g. 'error@3.0;kill@8.*;delay%%0.01:0.005;"
@@ -395,6 +437,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_repro.add_argument("--outdir", default="results",
                          help="directory for the regenerated tables")
     p_repro.set_defaults(fn=cmd_reproduce)
+
+    from .obs.regress import DEFAULT_BASELINE_PATH, DEFAULT_LEDGER_PATH
+
+    p_obs = sub.add_parser(
+        "obs", help="flight recorder: perf matrix + regression gate")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_check = obs_sub.add_parser(
+        "check", help="compare the ledger head against a baseline; "
+                      "exit 1 on regression")
+    p_check.add_argument("--ledger", dest="ledger_path",
+                         default=DEFAULT_LEDGER_PATH, metavar="FILE",
+                         help="ledger to read (default: "
+                              f"{DEFAULT_LEDGER_PATH})")
+    p_check.add_argument("--baseline", default=DEFAULT_BASELINE_PATH,
+                         metavar="FILE",
+                         help="baseline to compare against (default: "
+                              f"{DEFAULT_BASELINE_PATH})")
+    p_check.add_argument("--k", type=int, default=None,
+                         help="aggregate the last k records per cell "
+                              "(default: the baseline's k)")
+    p_check.add_argument("--only", metavar="M1,M2",
+                         help="restrict the gate to these metrics, "
+                              "e.g. colors,valid,work (machine-"
+                              "independent quality gate)")
+    p_check.add_argument("--update", action="store_true",
+                         help="write a fresh baseline from the ledger "
+                              "head instead of checking")
+    p_check.set_defaults(fn=cmd_obs)
+    p_matrix = obs_sub.add_parser(
+        "matrix", help="color the fixed perf matrix, appending one "
+                       "ledger record per run")
+    p_matrix.add_argument("--ledger", dest="ledger_path",
+                          default=DEFAULT_LEDGER_PATH, metavar="FILE")
+    p_matrix.add_argument("--repeats", type=int, default=3)
+    p_matrix.add_argument("--seed", type=int, default=0)
+    p_matrix.set_defaults(fn=cmd_obs)
     return parser
 
 
@@ -409,13 +487,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     saved: dict[str, str | None] = {}
     for flag, env in (("faults", "REPRO_FAULTS"),
                       ("adaptive", "REPRO_ADAPTIVE"),
-                      ("shards", "REPRO_SHARDS")):
+                      ("shards", "REPRO_SHARDS"),
+                      ("ledger", "REPRO_LEDGER")):
         value = getattr(args, flag, None)
         # --shards 0 must override an ambient $REPRO_SHARDS (it means
         # "off"), so integers test against None rather than falsiness.
         if value or (value is not None and flag == "shards"):
             saved[env] = os.environ.get(env)
             os.environ[env] = str(value)
+    # --trace binds an explicit Tracer as the run's single sink; an
+    # ambient $REPRO_TRACE would make every *other* context built along
+    # the way bind its own tracer to that path and clobber the flushes,
+    # so it is cleared for the command (and restored for in-process
+    # callers, i.e. tests).
+    if getattr(args, "trace", None) and "REPRO_TRACE" in os.environ:
+        saved["REPRO_TRACE"] = os.environ.pop("REPRO_TRACE")
     try:
         return args.fn(args)
     finally:

@@ -192,10 +192,13 @@ def dec_adg(g: CSRGraph, eps: float = 6.0, seed: int | None = 0,
         if n_shards > 1:
             from .sharded import sharded_color
             name = "DEC-ADG" if variant == "avg" else "DEC-ADG-M"
-            return sharded_color(g, algorithm=name, eps=eps, seed=seed,
-                                 ctx=ctx, n_shards=n_shards,
-                                 variant=variant, update=update,
-                                 max_rounds=max_rounds)
+            out = sharded_color(g, algorithm=name, eps=eps, seed=seed,
+                                ctx=ctx, n_shards=n_shards,
+                                variant=variant, update=update,
+                                max_rounds=max_rounds)
+            if owns:
+                ctx.ledger_record(out, graph=g, eps=eps)
+            return out
         rng = np.random.default_rng(seed)
         mu = eps / 4.0
 
@@ -212,16 +215,20 @@ def dec_adg(g: CSRGraph, eps: float = 6.0, seed: int | None = 0,
         wall = time.perf_counter() - t0
 
         name = "DEC-ADG" if variant == "avg" else "DEC-ADG-M"
-        return ColoringResult(algorithm=name, colors=colors, cost=ctx.cost,
-                              mem=ctx.mem, reorder_cost=ordering.cost,
-                              reorder_mem=ordering.mem, rounds=rounds_total,
-                              wall_seconds=wall,
-                              reorder_wall_seconds=reorder_wall,
-                              backend=ctx.backend, workers=ctx.workers,
-                              phase_walls=dict(ctx.wall_by_phase),
-                              trace_summary=ctx.trace_summary(),
-                              faults=ctx.fault_record(),
-                              dispatch=ctx.dispatch_record())
+        out = ColoringResult(algorithm=name, colors=colors, cost=ctx.cost,
+                             mem=ctx.mem, reorder_cost=ordering.cost,
+                             reorder_mem=ordering.mem, rounds=rounds_total,
+                             wall_seconds=wall,
+                             reorder_wall_seconds=reorder_wall,
+                             backend=ctx.backend, workers=ctx.workers,
+                             phase_walls=dict(ctx.wall_by_phase),
+                             trace_summary=ctx.trace_summary(),
+                             faults=ctx.fault_record(),
+                             dispatch=ctx.dispatch_record(),
+                             resources=ctx.resource_record())
+        if owns:
+            ctx.ledger_record(out, graph=g, eps=eps)
+        return out
     finally:
         if owns:
             ctx.close()

@@ -200,10 +200,13 @@ def dec_adg_itr(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
         if n_shards > 1:
             from .sharded import sharded_color
             name = "DEC-ADG-ITR" if variant == "avg" else "DEC-ADG-ITR-M"
-            return sharded_color(g, algorithm=name, eps=eps, seed=seed,
-                                 ctx=ctx, n_shards=n_shards,
-                                 variant=variant,
-                                 max_rounds=max_rounds)
+            out = sharded_color(g, algorithm=name, eps=eps, seed=seed,
+                                ctx=ctx, n_shards=n_shards,
+                                variant=variant,
+                                max_rounds=max_rounds)
+            if owns:
+                ctx.ledger_record(out, graph=g, eps=eps)
+            return out
         t0 = time.perf_counter()
         ordering = adg_ordering(g, eps=eps, variant=variant, seed=seed,
                                 ctx=ctx)
@@ -218,17 +221,21 @@ def dec_adg_itr(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
         wall = time.perf_counter() - t0
 
         name = "DEC-ADG-ITR" if variant == "avg" else "DEC-ADG-ITR-M"
-        return ColoringResult(algorithm=name, colors=colors, cost=ctx.cost,
-                              mem=ctx.mem, reorder_cost=ordering.cost,
-                              reorder_mem=ordering.mem, rounds=rounds_total,
-                              conflicts_resolved=conflicts_total,
-                              wall_seconds=wall,
-                              reorder_wall_seconds=reorder_wall,
-                              backend=ctx.backend, workers=ctx.workers,
-                              phase_walls=dict(ctx.wall_by_phase),
-                              trace_summary=ctx.trace_summary(),
-                              faults=ctx.fault_record(),
-                              dispatch=ctx.dispatch_record())
+        out = ColoringResult(algorithm=name, colors=colors, cost=ctx.cost,
+                             mem=ctx.mem, reorder_cost=ordering.cost,
+                             reorder_mem=ordering.mem, rounds=rounds_total,
+                             conflicts_resolved=conflicts_total,
+                             wall_seconds=wall,
+                             reorder_wall_seconds=reorder_wall,
+                             backend=ctx.backend, workers=ctx.workers,
+                             phase_walls=dict(ctx.wall_by_phase),
+                             trace_summary=ctx.trace_summary(),
+                             faults=ctx.fault_record(),
+                             dispatch=ctx.dispatch_record(),
+                             resources=ctx.resource_record())
+        if owns:
+            ctx.ledger_record(out, graph=g, eps=eps)
+        return out
     finally:
         if owns:
             ctx.close()

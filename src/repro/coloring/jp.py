@@ -185,16 +185,20 @@ def jp(g: CSRGraph, ordering: Ordering, use_fused_ranks: bool = True,
         colors, waves = jp_color(g, ordering.ranks, ctx=ctx,
                                  pred_counts=pred)
         wall = time.perf_counter() - t0
-        return ColoringResult(algorithm=f"JP-{ordering.name}", colors=colors,
-                              cost=ctx.cost, mem=ctx.mem,
-                              reorder_cost=ordering.cost,
-                              reorder_mem=ordering.mem, rounds=waves,
-                              wall_seconds=wall, backend=ctx.backend,
-                              workers=ctx.workers,
-                              phase_walls=dict(ctx.wall_by_phase),
-                              trace_summary=ctx.trace_summary(),
-                              faults=ctx.fault_record(),
-                              dispatch=ctx.dispatch_record())
+        out = ColoringResult(algorithm=f"JP-{ordering.name}", colors=colors,
+                             cost=ctx.cost, mem=ctx.mem,
+                             reorder_cost=ordering.cost,
+                             reorder_mem=ordering.mem, rounds=waves,
+                             wall_seconds=wall, backend=ctx.backend,
+                             workers=ctx.workers,
+                             phase_walls=dict(ctx.wall_by_phase),
+                             trace_summary=ctx.trace_summary(),
+                             faults=ctx.fault_record(),
+                             dispatch=ctx.dispatch_record(),
+                             resources=ctx.resource_record())
+        if owns:
+            ctx.ledger_record(out, graph=g)
+        return out
     finally:
         if owns:
             ctx.close()
@@ -214,6 +218,9 @@ def jp_by_name(g: CSRGraph, ordering_name: str, seed: int | None = 0,
         reorder_wall = time.perf_counter() - t0
         out = jp(g, ordering, ctx=ctx)
         out.reorder_wall_seconds = reorder_wall
+        if owns:
+            ctx.ledger_record(out, graph=g,
+                              eps=ordering_kwargs.get("eps"))
         return out
     finally:
         if owns:
@@ -250,6 +257,8 @@ def jp_adg_fused(g: CSRGraph, eps: float = 0.01, seed: int | None = 0,
         reorder_wall = time.perf_counter() - t0
         out = jp(g, ordering, ctx=ctx)
         out.reorder_wall_seconds = reorder_wall
+        if owns:
+            ctx.ledger_record(out, graph=g, eps=eps)
         return out
     finally:
         if owns:

@@ -52,6 +52,14 @@ class ColoringResult:
     (respawns, degradation), the boundary-repair counters
     (``repair_rounds``, ``repair_recolored``), and one ``per_shard``
     row per shard with its engine's rounds, wall, work, and peak RSS.
+
+    ``resources`` is ``None`` unless resource telemetry was on
+    (``ExecutionContext(resources=True)`` / ``$REPRO_RESOURCES`` / an
+    enabled run ledger); then it carries the
+    :meth:`~repro.runtime.ExecutionContext.resource_record` digest — a
+    ``coordinator`` block (sampler peak RSS, CPU seconds, live
+    shared-arena high-water mark) and a ``workers`` list of per-pid
+    probe rows (peak RSS, CPU; shard runs add the shard id).
     """
 
     algorithm: str
@@ -71,6 +79,7 @@ class ColoringResult:
     faults: dict | None = None
     dispatch: dict | None = None
     shards: dict | None = None
+    resources: dict | None = None
 
     def __post_init__(self) -> None:
         self.colors = np.asarray(self.colors, dtype=np.int64)

@@ -102,7 +102,8 @@ def run_shard_local(arrays: dict, *, algorithm: str, eps: float,
                  name=f"shard{shard}")
     levels = np.asarray(arrays["levels"])
     priority = np.asarray(arrays["priority"])
-    ctx = ExecutionContext(backend="serial", trace=False, faults=False)
+    ctx = ExecutionContext(backend="serial", trace=False, faults=False,
+                           ledger=False, resources=False)
     try:
         colors, rounds, conflicts = _interior(
             g, algorithm, levels, num_levels, eps, seed, priority, ctx,
@@ -299,6 +300,7 @@ def sharded_color(g: CSRGraph, algorithm: str, eps: float,
                 "work": rec["cost"].work,
                 "wall_s": round(rec["t1"] - rec["t0"], 6),
                 "pid": rec.get("pid"), "rss_kb": rec.get("rss_kb", 0),
+                "cpu_s": rec.get("cpu_s", 0.0),
                 "bytes": s.nbytes,
             })
         with ctx.phase("shard:repair"):
@@ -313,6 +315,11 @@ def sharded_color(g: CSRGraph, algorithm: str, eps: float,
               "repair_rounds": repair_rounds,
               "repair_recolored": repair_recolored,
               "per_shard": per_shard}
+    # Shard workers already reported pid/RSS/CPU on their records; fold
+    # them into the run's resource digest as per-shard worker rows.
+    shard_probes = [{"pid": r["pid"], "peak_rss_kb": r.get("rss_kb", 0),
+                     "cpu_s": r.get("cpu_s", 0.0), "shard": r["shard"]}
+                    for r in per_shard if r.get("pid")]
     return ColoringResult(algorithm=algorithm, colors=colors, cost=ctx.cost,
                           mem=ctx.mem, reorder_cost=ordering.cost,
                           reorder_mem=ordering.mem, rounds=rounds_total,
@@ -324,4 +331,6 @@ def sharded_color(g: CSRGraph, algorithm: str, eps: float,
                           trace_summary=ctx.trace_summary(),
                           faults=ctx.fault_record(),
                           dispatch=ctx.dispatch_record(),
-                          shards=digest)
+                          shards=digest,
+                          resources=ctx.resource_record(
+                              workers=shard_probes))

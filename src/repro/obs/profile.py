@@ -168,6 +168,37 @@ def shard_breakdown(result) -> list[dict]:
     return rows
 
 
+def resource_breakdown(result) -> list[dict]:
+    """Resource-telemetry rows for one run, from ``result.resources``.
+
+    One ``coordinator`` row (sampler peak RSS, CPU seconds, live
+    shared-arena high-water mark, sample count), then one row per
+    worker pid (``shardN`` for shard workers, ``worker`` for pool
+    workers).  Empty when telemetry was off — the profile section is
+    omitted then.
+    """
+    rec = getattr(result, "resources", None)
+    if not rec:
+        return []
+    coord = rec.get("coordinator") or {}
+    rows = [{
+        "role": "coordinator", "pid": coord.get("pid", ""),
+        "peak_rss_kb": coord.get("peak_rss_kb", 0),
+        "cpu_s": round(coord.get("cpu_s", 0.0), 4),
+        "arena_kb": coord.get("max_arena_bytes", 0) // 1024,
+        "samples": coord.get("samples", 0),
+    }]
+    for w in rec.get("workers", []):
+        role = f"shard{w['shard']}" if "shard" in w else "worker"
+        rows.append({
+            "role": role, "pid": w.get("pid", ""),
+            "peak_rss_kb": w.get("peak_rss_kb", 0),
+            "cpu_s": round(w.get("cpu_s", 0.0), 4),
+            "arena_kb": "", "samples": "",
+        })
+    return rows
+
+
 def imbalance_breakdown(tracer) -> list[dict]:
     """One row per multi-chunk round: chunk count and max/mean wall."""
     if not tracer.enabled:

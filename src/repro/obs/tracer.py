@@ -27,8 +27,11 @@ from dataclasses import dataclass, field
 
 from .metrics import MetricsRegistry
 
-#: Event categories emitted by the runtime and the engines.
-CATEGORIES = ("phase", "round", "chunk", "instant")
+#: Event categories emitted by the runtime and the engines.  ``shard``
+#: spans cover per-shard solves and boundary repair (PR 6); ``fault``
+#: instants mark injected faults and retry/timeout/respawn events
+#: (PR 4) — both validate through :mod:`repro.obs.validate`.
+CATEGORIES = ("phase", "round", "chunk", "instant", "shard", "fault")
 
 
 @dataclass
@@ -72,7 +75,7 @@ class NullTracer:
                tid: int | None = None, **args) -> None:
         pass
 
-    def instant(self, name: str, **args) -> None:
+    def instant(self, name: str, cat: str = "instant", **args) -> None:
         pass
 
     def count(self, name: str, value: float, round: int = 0) -> None:
@@ -147,9 +150,9 @@ class Tracer:
         finally:
             self.record(name, cat, t0, self.now(), **args)
 
-    def instant(self, name: str, **args) -> None:
+    def instant(self, name: str, cat: str = "instant", **args) -> None:
         t = self.now()
-        self.record(name, "instant", t, t, **args)
+        self.record(name, cat, t, t, **args)
 
     def count(self, name: str, value: float, round: int = 0) -> None:
         """Emit one counter point (accumulating per-round series)."""
@@ -202,7 +205,7 @@ class Tracer:
         by_cat: dict[str, int] = {}
         for e in self.events:
             by_cat[e.cat] = by_cat.get(e.cat, 0) + 1
-        return {
+        out = {
             "events": len(self.events),
             "events_by_cat": by_cat,
             "phase_self_s": {k: round(v, 6)
@@ -212,6 +215,18 @@ class Tracer:
                        for name in self.metrics.names()},
             "imbalance": self.imbalance(),
         }
+        faults: dict[str, int] = {}
+        for e in self.spans(cat="fault"):
+            faults[e.name] = faults.get(e.name, 0) + 1
+        if faults:
+            out["fault_events"] = faults
+        shard_spans = self.spans(cat="shard")
+        if shard_spans:
+            durs = [e.dur for e in shard_spans]
+            out["shard_spans"] = {"count": len(shard_spans),
+                                  "wall_s": round(sum(durs), 6),
+                                  "max_s": round(max(durs), 6)}
+        return out
 
     # -- sinks ---------------------------------------------------------------
 

@@ -7,9 +7,12 @@ third-party schema library:
   records with well-typed fields and ``t0 <= t1``;
 - Chrome trace JSON: a ``traceEvents`` list whose events carry a valid
   phase (``X``/``C``/``M``/``I``), numeric timestamps, and
-  non-negative durations.
+  non-negative durations;
+- run-ledger JSONL (:mod:`repro.obs.ledger`): sniffed by the schema
+  key on the first line and validated record-by-record against the
+  ``repro.ledger/v1`` schema.
 
-Runnable: ``python -m repro.obs.validate TRACE [TRACE ...]`` exits
+Runnable: ``python -m repro.obs.validate FILE [FILE ...]`` exits
 non-zero on the first invalid file.
 """
 
@@ -104,10 +107,29 @@ def validate_chrome(path: str) -> int:
     return len(events)
 
 
+def _is_ledger_file(path: str) -> bool:
+    """Does the first line carry a ``repro.ledger`` schema key?"""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                return isinstance(rec, dict) and \
+                    str(rec.get("schema", "")).startswith("repro.ledger")
+    except (OSError, ValueError):
+        pass
+    return False
+
+
 def validate_trace_file(path: str) -> int:
-    """Dispatch on extension (``.jsonl`` vs Chrome JSON); returns the
-    record/event count."""
+    """Dispatch on extension and content (trace JSONL vs run-ledger
+    JSONL vs Chrome JSON); returns the record/event count."""
     if path.endswith(".jsonl"):
+        if _is_ledger_file(path):
+            from .ledger import validate_ledger
+            return validate_ledger(path)
         return validate_jsonl(path)
     return validate_chrome(path)
 

@@ -110,6 +110,12 @@ from ..machine.parallel import (
     split_chunks_weighted,
 )
 from ..obs import resolve_tracer
+from ..obs.ledger import resolve_ledger, run_record
+from ..obs.resources import (
+    ResourceSampler,
+    merge_worker_probes,
+    resolve_resources,
+)
 from ..primitives.kernels import ScratchArena
 from .adaptive import (
     DispatchEstimator,
@@ -127,7 +133,13 @@ from .faults import (
 )
 from .kernels import Kernel
 from .shard import default_shards
-from .shm import SharedArena, create_pool, run_kernel_task
+from .shm import (
+    SharedArena,
+    create_pool,
+    live_segment_bytes,
+    run_kernel_task,
+    worker_probe,
+)
 
 T = TypeVar("T")
 
@@ -247,6 +259,22 @@ class ExecutionContext:
         :meth:`sharded` flips it fluently.  Colors are shard-count
         independent — the boundary-repair protocol restores exactly
         the engine's quality bound.
+    ledger:
+        The flight recorder (:mod:`repro.obs.ledger`): a
+        :class:`~repro.obs.ledger.Ledger`, a JSONL path, ``True``
+        (default ``results/ledger.jsonl``), ``False`` (off), or
+        ``None`` to defer to ``$REPRO_LEDGER``.  Defaults to the
+        zero-overhead null ledger; when enabled, engine entry points
+        that *own* their context append one schema-versioned run
+        record on completion (:meth:`ledger_record`).  Run-wide,
+        carried on the pool host.
+    resources:
+        Resource telemetry (:mod:`repro.obs.resources`): ``True``
+        starts a coordinator sampler thread (peak RSS, CPU, live
+        arena bytes) and enables per-worker probes; ``False`` forces
+        it off; ``None`` defers to ``$REPRO_RESOURCES`` and, when
+        that is silent too, follows the ledger (telemetry on iff the
+        run is being recorded).  Digest via :meth:`resource_record`.
 
     The context is a context manager; the thread pool is created lazily
     on first threaded :meth:`map_chunks` and shut down by
@@ -267,6 +295,7 @@ class ExecutionContext:
                  max_respawns: int | None = None,
                  adaptive=None,
                  shards: int | None = None,
+                 ledger=None, resources=None,
                  _pool_host: "ExecutionContext | None" = None):
         # The host carries the run-wide state (pool, arena, backend,
         # fault budgets, round counter); set it before anything that
@@ -330,6 +359,15 @@ class ExecutionContext:
             if self._shards < 0:
                 raise ValueError(f"shards must be >= 0, "
                                  f"got {self._shards}")
+            self._ledger = resolve_ledger(ledger)
+            res_on = resolve_resources(resources)
+            self._resources_on = self._ledger.enabled \
+                if res_on is None else res_on
+            self._sampler: ResourceSampler | None = None
+            if self._resources_on:
+                self._sampler = ResourceSampler(
+                    tracer=self.tracer,
+                    arena_bytes=live_segment_bytes).start()
 
     @property
     def shards(self) -> int:
@@ -353,6 +391,12 @@ class ExecutionContext:
         return self._pool_host._backend
 
     @property
+    def ledger(self):
+        """The run's flight-recorder ledger (run-wide; the null ledger
+        when recording is off)."""
+        return self._pool_host._ledger
+
+    @property
     def scratch(self) -> ScratchArena:
         """The run's coordinator-side scratch arena: reusable buffers
         for the per-round intermediates engines build *between* chunk
@@ -370,10 +414,65 @@ class ExecutionContext:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def ledger_record(self, result, graph=None, *, kind: str = "run",
+                      eps: float | None = None, valid: bool | None = None,
+                      extra: dict | None = None):
+        """Append one run record to the ledger; no-op (returning
+        ``None``) when recording is off.
+
+        Called by engine entry points that *own* their context — the
+        owner-append rule keeps exactly one record per run however many
+        engines and child contexts the run composes.
+        """
+        host = self._pool_host
+        if not host._ledger.enabled:
+            return None
+        return host._ledger.append(run_record(result, graph=graph,
+                                              kind=kind, eps=eps,
+                                              valid=valid, extra=extra))
+
+    def resource_record(self, workers=None) -> dict | None:
+        """The run's resource digest: coordinator sampler maxima plus
+        deduped per-worker probes.  ``None`` when telemetry is off.
+
+        ``workers`` is an optional iterable of extra worker rows (the
+        sharded path passes per-shard pid/RSS rows); live pool workers
+        are additionally probed in place.
+        """
+        host = self._pool_host
+        if not host._resources_on or host._sampler is None:
+            return None
+        probes = list(workers or [])
+        probes += host._probe_workers()
+        return {"coordinator": host._sampler.digest(),
+                "workers": merge_worker_probes(probes)}
+
+    def _probe_workers(self) -> list[dict]:
+        """Probe the live process pool's workers (best effort).
+
+        Submits a few more probe tasks than workers — pool scheduling
+        is not round-robin, so extras raise the odds every worker
+        answers at least once; duplicates merge away by pid.
+        """
+        host = self._pool_host
+        if host._procpool is None:
+            return []
+        futures = [host._procpool.submit(worker_probe)
+                   for _ in range(2 * self.workers)]
+        out = []
+        for fut in futures:
+            try:
+                out.append(fut.result(timeout=5.0))
+            except Exception:  # pragma: no cover - dead/respawning pool
+                pass
+        return out
+
     def close(self) -> None:
         """Shut down pools and the shared arena, and flush a path-bound
         tracer (only if this context is the pool host)."""
         if self._pool_host is self:
+            if self._sampler is not None:
+                self._sampler.stop()
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
@@ -803,7 +902,8 @@ class ExecutionContext:
             ci = futs[f]
             self._fault_count("fault.timeouts", rid)
             if self.tracer.enabled:
-                self.tracer.instant("fault.timeout", round=rid, chunk=ci)
+                self.tracer.instant("fault.timeout", cat="fault",
+                                    round=rid, chunk=ci)
             if attempts[ci] > self._pool_host._retries:
                 lo, hi = chunks[ci]
                 raise ChunkError(
@@ -890,8 +990,8 @@ class ExecutionContext:
         if spec is not None:
             self._fault_count(f"fault.injected.{spec.kind}", rid)
             if self.tracer.enabled:
-                self.tracer.instant(f"fault.{spec.kind}", round=rid,
-                                    chunk=ci, attempt=attempt)
+                self.tracer.instant(f"fault.{spec.kind}", cat="fault",
+                                    round=rid, chunk=ci, attempt=attempt)
         return spec
 
     def _fault_count(self, name: str, rid: int) -> None:
@@ -904,7 +1004,7 @@ class ExecutionContext:
         host = self._pool_host
         host._fault_events.append(event)
         if self.tracer.enabled:
-            self.tracer.instant(f"fault.{event['kind']}", **{
+            self.tracer.instant(f"fault.{event['kind']}", cat="fault", **{
                 k: v for k, v in event.items() if k != "kind"})
 
     def fault_record(self) -> dict | None:

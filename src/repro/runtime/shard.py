@@ -239,20 +239,24 @@ def run_shard_task(runner: str, specs: dict, scalars: dict, fault=None):
     mod_name, fn_name = runner.split(":")
     fn = getattr(importlib.import_module(mod_name), fn_name)
     t0 = time.perf_counter()
+    c0 = _cpu_s()
     record = fn(arrays, **scalars)
     record["t0"], record["t1"] = t0, time.perf_counter()
     record["pid"] = os.getpid()
     record["rss_kb"] = _peak_rss_kb()
+    record["cpu_s"] = round(_cpu_s() - c0, 6)
     return record
 
 
 def _peak_rss_kb() -> int:
     """This process's peak resident set in KiB (0 where unsupported)."""
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-POSIX
-        return 0
-    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    from .shm import peak_rss_kb
+    return peak_rss_kb()
+
+
+def _cpu_s() -> float:
+    t = os.times()
+    return float(t.user + t.system)
 
 
 def _call_inline(runner: str, arrays: dict, scalars: dict) -> dict:
@@ -260,10 +264,12 @@ def _call_inline(runner: str, arrays: dict, scalars: dict) -> dict:
     mod_name, fn_name = runner.split(":")
     fn = getattr(importlib.import_module(mod_name), fn_name)
     t0 = time.perf_counter()
+    c0 = _cpu_s()
     record = fn(arrays, **scalars)
     record["t0"], record["t1"] = t0, time.perf_counter()
     record["pid"] = os.getpid()
     record["rss_kb"] = _peak_rss_kb()
+    record["cpu_s"] = round(_cpu_s() - c0, 6)
     return record
 
 
@@ -311,8 +317,8 @@ class ShardedContext:
         if spec is not None:
             self.ctx._fault_count(f"fault.injected.{spec.kind}", 0)
             if self.ctx.tracer.enabled:
-                self.ctx.tracer.instant(f"fault.{spec.kind}", shard=sid,
-                                        attempt=attempt)
+                self.ctx.tracer.instant(f"fault.{spec.kind}", cat="fault",
+                                        shard=sid, attempt=attempt)
         return spec
 
     def _respawn_or_degrade(self, sid: int) -> bool:
@@ -383,6 +389,7 @@ class ShardedContext:
                         return None
                 except Exception as exc:
                     self._retry_or_raise(sid, attempt, exc)
+        self._record_spans(results)
         return results
 
     def _run_pooled(self, shard_arrays, shard_scalars,

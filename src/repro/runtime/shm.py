@@ -63,6 +63,31 @@ def live_segment_names() -> list[str]:
     return sorted(names)
 
 
+def live_segment_bytes() -> int:
+    """Total capacity of every still-linked shared segment, in bytes.
+
+    The resource sampler polls this to chart the live ``/dev/shm``
+    footprint alongside RSS — segment capacity is what the kernel
+    actually reserves for the name, whatever shape the current view has.
+    """
+    total = 0
+    for arena in list(_ARENAS):
+        for slot in arena._slots.values():
+            if not slot.unlinked:
+                total += slot.capacity
+    return total
+
+
+def peak_rss_kb() -> int:
+    """This process's lifetime peak resident set in KiB (0 where
+    unsupported).  Shared by shard records and worker probes."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
 class ArraySpec(NamedTuple):
     """Everything a worker needs to rebuild a zero-copy view."""
 
@@ -208,12 +233,34 @@ def _view(spec: ArraySpec) -> np.ndarray:
                       buffer=shm.buf)
 
 
+#: CPU-seconds baseline stamped at worker init, so probes report CPU
+#: spent on this run's tasks rather than interpreter/import startup.
+_WORKER_CPU_BASE: list[float] = []
+
+
 def _pool_worker_init(extra_sys_path: list[str]) -> None:
     """Worker initializer: mirror the coordinator's import path (the
-    coordinator may run from a source tree that is not installed)."""
+    coordinator may run from a source tree that is not installed) and
+    stamp the resource-telemetry CPU baseline."""
     for p in reversed(extra_sys_path):
         if p not in sys.path:
             sys.path.insert(0, p)
+    t = os.times()
+    _WORKER_CPU_BASE[:] = [float(t.user + t.system)]
+
+
+def worker_probe() -> dict:
+    """Report this worker's peak RSS and CPU since init.
+
+    Runs as an ordinary pool task: the coordinator submits one probe
+    per worker slot (a few more than workers, since scheduling is not
+    round-robin) and dedupes the answers by pid.
+    """
+    t = os.times()
+    base = _WORKER_CPU_BASE[0] if _WORKER_CPU_BASE else 0.0
+    return {"pid": os.getpid(),
+            "peak_rss_kb": peak_rss_kb(),
+            "cpu_s": round(max(0.0, float(t.user + t.system) - base), 6)}
 
 
 def run_kernel_task(kernel_name: str, specs: dict, scalars: dict,

@@ -161,7 +161,7 @@ class TestProfileCommand:
                      "JP-ADG", "--json"]) == 0
         out = json.loads(capsys.readouterr().out)
         assert set(out) == {"summary", "phases", "rounds", "imbalance",
-                            "faults", "dispatch", "shards"}
+                            "faults", "dispatch", "shards", "resources"}
         assert out["summary"]["algorithm"] == "JP-ADG"
         assert {r["phase"] for r in out["phases"]} >= {"jp:dag", "jp:color"}
         assert any("jp.colored" in r for r in out["rounds"])
@@ -226,3 +226,51 @@ class TestShardsFlag:
         assert main(["profile", "--gen", "grid:8,8", "--json",
                      "--trace", path]) == 0
         assert validate_chrome(path) > 0
+
+
+class TestLedgerFlag:
+    def test_color_appends_one_record(self, tmp_path, capsys):
+        from repro.obs import read_ledger
+        path = str(tmp_path / "ledger.jsonl")
+        assert main(["color", "--gen", "gnm:200,600", "--algorithm",
+                     "JP-ADG", "--ledger", path, "--json"]) == 0
+        recs = read_ledger(path)
+        assert len(recs) == 1
+        assert recs[0]["kind"] == "run"
+        assert recs[0]["algorithm"] == "JP-ADG"
+        out = json.loads(capsys.readouterr().out)
+        assert out["resources"]["coordinator"]["peak_rss_kb"] > 0
+
+    def test_env_not_polluted(self, tmp_path, capsys, monkeypatch):
+        # The --ledger seam sets $REPRO_LEDGER for the run and must
+        # restore the ambient value afterwards (here: unset).
+        import os
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        assert main(["color", "--gen", "gnm:100,300", "--ledger",
+                     str(tmp_path / "l.jsonl"), "--json"]) == 0
+        capsys.readouterr()
+        assert "REPRO_LEDGER" not in os.environ
+
+    def test_env_seam_alone(self, tmp_path, capsys, monkeypatch):
+        from repro.obs import read_ledger
+        path = str(tmp_path / "env.jsonl")
+        monkeypatch.setenv("REPRO_LEDGER", path)
+        assert main(["color", "--gen", "gnm:100,300", "--json"]) == 0
+        capsys.readouterr()
+        assert len(read_ledger(path)) == 1
+
+    def test_explicit_trace_clears_ambient_env(self, tmp_path, capsys,
+                                               monkeypatch):
+        # --trace FILE is the single sink for the run: an ambient
+        # $REPRO_TRACE must neither double-trace nor leak, and must be
+        # restored afterwards.
+        import os
+        ambient = str(tmp_path / "ambient.jsonl")
+        explicit = str(tmp_path / "explicit.jsonl")
+        monkeypatch.setenv("REPRO_TRACE", ambient)
+        assert main(["color", "--gen", "grid:6,6", "--json",
+                     "--trace", explicit]) == 0
+        capsys.readouterr()
+        assert validate_jsonl(explicit) > 0
+        assert not os.path.exists(ambient)
+        assert os.environ["REPRO_TRACE"] == ambient

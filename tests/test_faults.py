@@ -445,4 +445,4 @@ class TestFaultRecordPlumbing:
                               backoff=0.0, trace=t) as ctx:
             ENGINES["jp-adg"](chaos_graph, ctx)
         assert t.metrics.get("fault.injected.error").total == 1
-        assert any(e.name == "fault.error" for e in t.spans(cat="instant"))
+        assert any(e.name == "fault.error" for e in t.spans(cat="fault"))
