@@ -1,0 +1,194 @@
+"""Micro-benchmark: kernel-tier A/B for the hot trio.
+
+PR 8 adds an optional compiled tier (:mod:`repro.primitives.compiled`,
+Numba) behind the Kernel ABI.  This benchmark times the three hot
+primitives — ``segment_ids``, ``multi_slice_gather``, ``grouped_mex`` —
+on JP-wave-shaped inputs under each available tier and reports the
+numpy-vs-numba speedup grid to ``BENCH_kernels.json``.
+
+Cells:
+
+- ``grouped_mex/dense-frontier`` — many medium groups, the JP-ADG color
+  assignment shape.  The CI acceptance bar is >= 2x for the numba tier
+  on this cell.
+- ``grouped_mex/single-group`` — the n_groups == 1 fast path (GM color
+  pick), which bypasses the lexsort entirely on both tiers.
+- ``segment_ids/dense-frontier`` and ``multi_slice_gather/dense-frontier``
+  — the expand side of the same wave.
+
+Compilation is never timed: when numba is importable the jitted kernels
+are primed (``compiled.prime()``) before any timed span, mirroring the
+pool-initializer behavior of the runtime.  Without numba the grid simply
+has no numba column — the report is still valid as a numpy baseline.
+
+Runnable standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [OUT.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.primitives import kernels
+from repro.primitives.kernels import ScratchArena
+from repro.primitives.tiers import numba_available, set_kernel_tier
+
+REPEATS = 7
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_kernels.json")
+DEFAULT_LEDGER = os.path.join(os.path.dirname(__file__), "..",
+                              "results", "ledger.jsonl")
+
+#: The >= 2x acceptance bar applies to this cell (see ISSUE 8 / CI).
+ACCEPTANCE_CELL = ("grouped_mex", "dense-frontier")
+ACCEPTANCE_SPEEDUP = 2.0
+
+
+def _ledger():
+    """Flight-recorder sink: ``$REPRO_LEDGER`` wins (incl. ``off``);
+    otherwise the repo's ``results/ledger.jsonl``."""
+    from repro.obs.ledger import resolve_ledger
+
+    if "REPRO_LEDGER" in os.environ:
+        return resolve_ledger(None)
+    return resolve_ledger(DEFAULT_LEDGER)
+
+
+def _shapes(scale: int = 1) -> dict:
+    """JP-wave-shaped inputs, deterministic across tiers and hosts."""
+    rng = np.random.default_rng(8)
+    # Dense frontier: ~16k vertices of mean degree ~48 (kronecker-ish
+    # wave mid-run), colors sparse in 1..64.
+    n_groups = 16384 * scale
+    counts = rng.poisson(48, n_groups).astype(np.int64)
+    total = int(counts.sum())
+    group = kernels.segment_ids(counts)
+    values = rng.integers(0, 64, total).astype(np.int64)
+    starts = np.zeros(n_groups, np.int64)
+    np.cumsum(counts[:-1], out=starts[1:])
+    data = rng.integers(0, 1 << 20, total + 7).astype(np.int64)
+    # Single group: one vertex with a huge adjacency (GM color pick).
+    sg_values = rng.integers(0, 1 << 16, 262144 * scale).astype(np.int64)
+    sg_group = np.zeros(sg_values.size, np.int64)
+    return {
+        ("grouped_mex", "dense-frontier"):
+            lambda ws: kernels.grouped_mex(group, values, n_groups,
+                                           scratch=ws),
+        ("grouped_mex", "single-group"):
+            lambda ws: kernels.grouped_mex(sg_group, sg_values, 1,
+                                           scratch=ws),
+        ("segment_ids", "dense-frontier"):
+            lambda ws: kernels.segment_ids(counts),
+        ("multi_slice_gather", "dense-frontier"):
+            lambda ws: kernels.multi_slice_gather(data, starts, counts,
+                                                  scratch=ws),
+    }
+
+
+def _best_wall(fn, ws) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        fn(ws)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_tier(tier: str, shapes: dict) -> dict:
+    """Best-of-REPEATS wall per cell under one kernel tier."""
+    set_kernel_tier(tier)
+    try:
+        ws = ScratchArena()
+        walls = {}
+        for cell, fn in shapes.items():
+            fn(ws)  # warm-up: scratch allocation (and jit dispatch)
+            walls[cell] = _best_wall(fn, ws)
+        return walls
+    finally:
+        set_kernel_tier("numpy")
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    out = argv[0] if argv else DEFAULT_OUT
+    shapes = _shapes()
+    tiers = ["numpy"]
+    if numba_available():
+        from repro.primitives import compiled
+        compiled.prime()  # compile outside every timed span
+        tiers.append("numba")
+    walls = {tier: measure_tier(tier, shapes) for tier in tiers}
+    rows = []
+    for (kernel, shape) in shapes:
+        row = {"kernel": kernel, "shape": shape, "repeats": REPEATS}
+        for tier in tiers:
+            row[f"{tier}_wall_s"] = round(walls[tier][(kernel, shape)], 7)
+        if "numba" in tiers:
+            row["speedup"] = round(
+                walls["numpy"][(kernel, shape)]
+                / walls["numba"][(kernel, shape)], 3)
+        rows.append(row)
+    report = {
+        "benchmark": "kernels",
+        "cpu_count": os.cpu_count(),
+        "numba_available": numba_available(),
+        "tiers": tiers,
+        "acceptance": {"cell": "/".join(ACCEPTANCE_CELL),
+                       "min_speedup": ACCEPTANCE_SPEEDUP},
+        "rows": rows,
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    book = _ledger()
+    if book.enabled:
+        from repro.obs.ledger import bench_record
+        for row in rows:
+            book.append(bench_record("kernels", row))
+    for row in rows:
+        line = (f"{row['kernel']}/{row['shape']}: "
+                f"numpy {row['numpy_wall_s']*1e3:.2f} ms")
+        if "speedup" in row:
+            line += (f", numba {row['numba_wall_s']*1e3:.2f} ms "
+                     f"({row['speedup']:.1f}x)")
+        print(line)
+    if not numba_available():
+        print("note: numba not importable; numpy-only baseline grid")
+    print(f"wrote {out}")
+    if book.enabled:
+        print(f"appended {len(rows)} bench record(s) to {book.path}")
+    return 0
+
+
+def test_report_kernels(benchmark):
+    """Pytest entry: the grid runs and, under numba, clears the bar."""
+    from .conftest import run_once
+
+    shapes = _shapes()
+    tiers = ["numpy"]
+    if numba_available():
+        from repro.primitives import compiled
+        compiled.prime()
+        tiers.append("numba")
+
+    def bench():
+        return {tier: measure_tier(tier, shapes) for tier in tiers}
+
+    walls = run_once(benchmark, bench)
+    assert all(w > 0 for per in walls.values() for w in per.values())
+    if "numba" in walls:
+        speedup = (walls["numpy"][ACCEPTANCE_CELL]
+                   / walls["numba"][ACCEPTANCE_CELL])
+        assert speedup >= ACCEPTANCE_SPEEDUP, (
+            f"grouped_mex dense-frontier numba speedup {speedup:.2f}x "
+            f"< {ACCEPTANCE_SPEEDUP}x")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -397,6 +397,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "$REPRO_SHARDS or off; 0 disables); with the "
                             "process backend each shard runs in its own "
                             "worker over shared-memory segments")
+        p.add_argument("--kernel-tier", dest="kernel_tier",
+                       choices=["auto", "numpy", "numba"],
+                       default=None,
+                       help="hot-trio kernel implementation (default: "
+                            "$REPRO_KERNEL_TIER or auto): auto uses the "
+                            "compiled numba tier when importable and "
+                            "falls back to numpy silently; colors are "
+                            "bit-identical across tiers")
 
     p_color = sub.add_parser("color", help="run a coloring algorithm")
     common(p_color)
@@ -488,6 +496,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     for flag, env in (("faults", "REPRO_FAULTS"),
                       ("adaptive", "REPRO_ADAPTIVE"),
                       ("shards", "REPRO_SHARDS"),
+                      ("kernel_tier", "REPRO_KERNEL_TIER"),
                       ("ledger", "REPRO_LEDGER")):
         value = getattr(args, flag, None)
         # --shards 0 must override an ambient $REPRO_SHARDS (it means
@@ -503,6 +512,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     if getattr(args, "trace", None) and "REPRO_TRACE" in os.environ:
         saved["REPRO_TRACE"] = os.environ.pop("REPRO_TRACE")
     try:
+        # Resolve the kernel tier up front so even context-less engines
+        # (GM, Greedy) run under the requested tier, and an explicit
+        # --kernel-tier numba without numba fails loudly before any
+        # work starts.
+        from .primitives.tiers import resolve_kernel_tier, set_kernel_tier
+        set_kernel_tier(resolve_kernel_tier(None))
         return args.fn(args)
     finally:
         for env, old in saved.items():

@@ -20,9 +20,10 @@ class ColoringResult:
     ordering phase (the paper's Fig. 1 splits run-times into reordering
     and coloring); ``cost`` holds the coloring phase.
 
-    ``backend``/``workers`` record the execution configuration the run
-    used (colors are backend-independent by construction; wall times
-    are not), and ``phase_walls`` the per-phase wall-clock split from
+    ``backend``/``workers``/``kernel_tier`` record the execution
+    configuration the run used (colors are backend- and tier-independent
+    by construction; wall times are not), and ``phase_walls`` the
+    per-phase wall-clock split from
     the :class:`~repro.runtime.ExecutionContext` timers (exclusive
     time per phase).
 
@@ -74,6 +75,7 @@ class ColoringResult:
     reorder_wall_seconds: float = 0.0
     backend: str = "serial"
     workers: int = 1
+    kernel_tier: str = "numpy"
     phase_walls: dict[str, float] = field(default_factory=dict)
     trace_summary: dict | None = None
     faults: dict | None = None
@@ -144,4 +146,5 @@ class ColoringResult:
             "wall_s": self.total_wall_seconds,
             "backend": self.backend,
             "workers": self.workers,
+            "kernel_tier": self.kernel_tier,
         }

@@ -198,9 +198,16 @@ def git_sha() -> str | None:
 
 
 def cell_key(graph_name: str, algorithm: str, backend: str, workers: int,
-             shards: int) -> str:
-    """The ledger's comparison key: one configuration cell."""
-    return f"{graph_name}|{algorithm}|{backend}|{workers}|{shards}"
+             shards: int, kernel_tier: str = "numpy") -> str:
+    """The ledger's comparison key: one configuration cell.
+
+    ``kernel_tier`` is part of the key so the regression gate never
+    compares walls across tiers — a numpy baseline must not gate a
+    numba candidate (or vice versa); mismatches surface as
+    TIER-MISMATCH instead of bogus wall deltas.
+    """
+    return (f"{graph_name}|{algorithm}|{backend}|{workers}|{shards}"
+            f"|{kernel_tier}")
 
 
 def run_record(result, graph=None, *, kind: str = "run",
@@ -218,13 +225,14 @@ def run_record(result, graph=None, *, kind: str = "run",
         shards_digest = result.shards
         n_shards = int(result.shards.get("n_shards", 0))
     gname = graph.name if graph is not None else "?"
+    tier = getattr(result, "kernel_tier", "numpy")
     rec = {
         "schema": LEDGER_SCHEMA,
         "kind": kind,
         "ts": round(time.time(), 3),
         "git_sha": git_sha(),
         "cell": cell_key(gname, result.algorithm, result.backend,
-                         result.workers, n_shards),
+                         result.workers, n_shards, tier),
         "graph": ({"name": graph.name, "n": int(graph.n),
                    "m": int(graph.m), "digest": graph_digest(graph)}
                   if graph is not None else None),
@@ -233,6 +241,7 @@ def run_record(result, graph=None, *, kind: str = "run",
         "backend": result.backend,
         "workers": int(result.workers),
         "shards": n_shards,
+        "kernel_tier": tier,
         "colors": int(result.num_colors),
         "valid": valid,
         "work": int(result.total_work),
@@ -301,10 +310,17 @@ def validate_ledger_record(rec: dict, where: str = "ledger") -> None:
         _require(isinstance(rec.get("row"), dict), where,
                  "bench.row must be an object")
         return
-    _require(isinstance(rec.get("cell"), str) and rec["cell"].count("|") == 4,
-             where, "cell must be 'graph|algorithm|backend|workers|shards'")
+    # 5 pipes is the current form (…|kernel_tier); 4 pipes is accepted
+    # for ledgers recorded before the kernel-tier field existed.
+    _require(isinstance(rec.get("cell"), str)
+             and rec["cell"].count("|") in (4, 5), where,
+             "cell must be 'graph|algorithm|backend|workers|shards"
+             "[|kernel_tier]'")
     _require(isinstance(rec.get("algorithm"), str), where,
              "algorithm must be a string")
+    _require(rec.get("kernel_tier") is None
+             or isinstance(rec["kernel_tier"], str), where,
+             "kernel_tier must be a string or absent")
     _require(rec.get("backend") in ("serial", "threaded", "process"), where,
              f"unknown backend {rec.get('backend')!r}")
     for key in ("workers", "shards", "colors", "work", "depth", "rounds",

@@ -8,7 +8,11 @@ excludant (the ``GetColor`` routine of JP, Alg. 3 lines 25-28).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
+
+from . import tiers as _tiers
 
 
 class ScratchArena:
@@ -34,13 +38,18 @@ class ScratchArena:
         self.misses = 0
 
     def take(self, key: str, size: int, dtype=np.int64) -> np.ndarray:
+        # Buffers are keyed on (key, dtype): a key alternating between
+        # two dtypes (e.g. an int64 buffer name reused for a bool mask)
+        # keeps one buffer per dtype instead of evicting and
+        # reallocating on every call.
         size = int(size)
         dtype = np.dtype(dtype)
-        buf = self._bufs.get(key)
-        if buf is None or buf.size < size or buf.dtype != dtype:
+        slot = (key, dtype)
+        buf = self._bufs.get(slot)
+        if buf is None or buf.size < size:
             cap = max(size, 2 * (buf.size if buf is not None else 0), 16)
             buf = np.empty(cap, dtype=dtype)
-            self._bufs[key] = buf
+            self._bufs[slot] = buf
             self.misses += 1
         else:
             self.hits += 1
@@ -66,6 +75,25 @@ class ScratchArena:
                 "hits": self.hits, "misses": self.misses}
 
 
+_FALLBACK_TLS = threading.local()
+
+
+def fallback_arena() -> ScratchArena:
+    """Thread-local :class:`ScratchArena` for callers without one.
+
+    Hot paths that can be reached scratch-less (the single-group
+    ``grouped_mex`` of late JP-wave stragglers, the compiled tier's
+    intermediates) draw from this arena instead of allocating fresh
+    every call.  Thread-local so the threaded backend's workers never
+    share buffers.
+    """
+    arena = getattr(_FALLBACK_TLS, "arena", None)
+    if arena is None:
+        arena = ScratchArena()
+        _FALLBACK_TLS.arena = arena
+    return arena
+
+
 def segment_ids(counts: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
     """Expand per-segment counts into a flat array of segment indices.
 
@@ -76,6 +104,8 @@ def segment_ids(counts: np.ndarray, *, out: np.ndarray | None = None) -> np.ndar
     place — mark segment starts, prefix-sum — and the filled ``out``
     view is returned; no allocation proportional to the total.
     """
+    if _tiers._ACTIVE == "numba":
+        return _tiers._COMPILED.segment_ids(counts, out=out)
     counts = np.asarray(counts, dtype=np.int64)
     if counts.size == 0:
         return np.empty(0, dtype=np.int64) if out is None else out[:0]
@@ -114,6 +144,9 @@ def multi_slice_gather(data: np.ndarray, starts: np.ndarray,
     ``segment_ids(counts)`` so it is not rebuilt.  The result is
     bit-identical on every path — only where the temporaries live moves.
     """
+    if _tiers._ACTIVE == "numba":
+        return _tiers._COMPILED.multi_slice_gather(
+            data, starts, counts, out=out, seg=seg, scratch=scratch)
     starts = np.asarray(starts, dtype=np.int64)
     counts = np.asarray(counts, dtype=np.int64)
     if starts.shape != counts.shape:
@@ -197,6 +230,9 @@ def grouped_mex(group: np.ndarray, values: np.ndarray, n_groups: int, *,
     ``1..c+1`` answers directly — the common shape of late JP waves,
     where one straggler vertex colors alone.
     """
+    if _tiers._ACTIVE == "numba":
+        return _tiers._COMPILED.grouped_mex(group, values, n_groups,
+                                            scratch=scratch)
     group = np.asarray(group, dtype=np.int64)
     values = np.asarray(values, dtype=np.int64)
     if group.shape != values.shape:
@@ -217,16 +253,15 @@ def grouped_mex(group: np.ndarray, values: np.ndarray, n_groups: int, *,
     if n_groups == 1:
         # Direct mex, no sort: cap values at kept+1, mark presence,
         # first unmarked slot >= 1 is the answer (a False slot always
-        # exists: <= kept distinct values over kept+1 slots).
-        if scratch is None:
-            vals = np.minimum(values[pos], kept + 1)
-            present = np.zeros(kept + 2, dtype=bool)
-        else:
-            vals = np.compress(pos, values,
-                               out=scratch.take("gmx.v", kept))
-            np.minimum(vals, kept + 1, out=vals)
-            present = scratch.take("gmx.present", kept + 2, bool)
-            present[:] = False
+        # exists: <= kept distinct values over kept+1 slots).  The
+        # scratch-less path (late JP-wave stragglers reach it every
+        # round) draws from the thread-local fallback arena instead of
+        # allocating fresh.
+        ws = scratch if scratch is not None else fallback_arena()
+        vals = np.compress(pos, values, out=ws.take("gmx.v", kept))
+        np.minimum(vals, kept + 1, out=vals)
+        present = ws.take("gmx.present", kept + 2, bool)
+        present[:] = False
         present[vals] = True
         out[0] = int(np.argmin(present[1:])) + 1
         return out

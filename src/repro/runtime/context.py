@@ -117,6 +117,7 @@ from ..obs.resources import (
     resolve_resources,
 )
 from ..primitives.kernels import ScratchArena
+from ..primitives.tiers import resolve_kernel_tier, set_kernel_tier
 from .adaptive import (
     DispatchEstimator,
     effective_parallelism,
@@ -295,6 +296,7 @@ class ExecutionContext:
                  max_respawns: int | None = None,
                  adaptive=None,
                  shards: int | None = None,
+                 kernel_tier: str | None = None,
                  ledger=None, resources=None,
                  _pool_host: "ExecutionContext | None" = None):
         # The host carries the run-wide state (pool, arena, backend,
@@ -306,6 +308,13 @@ class ExecutionContext:
             raise ValueError(f"backend must be one of {BACKENDS}, "
                              f"got {resolved!r}")
         self._backend = resolved
+        if self._pool_host is self:
+            # Resolve the run's kernel tier (argument > $REPRO_KERNEL_TIER
+            # > auto) and make it the process-global active tier now, so
+            # any one-shot calibration the adaptive layer runs measures
+            # the tier the run will actually execute.
+            self._kernel_tier = resolve_kernel_tier(kernel_tier)
+            set_kernel_tier(self._kernel_tier)
         if resolved == "serial":
             self.workers = 1
         else:
@@ -323,6 +332,7 @@ class ExecutionContext:
             self.tracer.meta.setdefault("backend", self.backend)
             self.tracer.meta.setdefault("workers", self.workers)
             self.tracer.meta.setdefault("adaptive", self.adaptive)
+            self.tracer.meta.setdefault("kernel_tier", self.kernel_tier)
         self._pool: ThreadPoolExecutor | None = None
         self._procpool = None
         self._arena: SharedArena | None = None
@@ -389,6 +399,12 @@ class ExecutionContext:
         degradation in any context of the run (ordering child, coloring
         parent) is visible everywhere."""
         return self._pool_host._backend
+
+    @property
+    def kernel_tier(self) -> str:
+        """The run's *resolved* kernel tier ('numpy' or 'numba', never
+        'auto') — run-wide, like the backend."""
+        return self._pool_host._kernel_tier
 
     @property
     def ledger(self):
@@ -506,7 +522,8 @@ class ExecutionContext:
     def _acquire_procpool(self):
         host = self._pool_host
         if host._procpool is None:
-            host._procpool = create_pool(self.workers)
+            host._procpool = create_pool(self.workers,
+                                         kernel_tier=self.kernel_tier)
         return host._procpool
 
     def _acquire_arena(self) -> SharedArena:
@@ -636,6 +653,10 @@ class ExecutionContext:
         if not chunks:
             return []
         host = self._pool_host
+        # Re-assert the run's tier each round (a cheap no-op while it
+        # is already active): two interleaved contexts with different
+        # tiers in one process each execute under their own.
+        set_kernel_tier(host._kernel_tier)
         est = host._estimator
         backend0 = self.backend
         if backend0 == "process" and self.workers > 1 and len(chunks) > 1 \
@@ -652,8 +673,13 @@ class ExecutionContext:
         inline = False
         p_eff = 1
         units = 0.0
+        # The estimator's EWMA unit costs are tier-specific (a fused
+        # numba kernel has a very different s/unit than its NumPy
+        # form), so break-even decisions re-learn after a tier switch.
         key = fn.name if isinstance(fn, Kernel) \
             else getattr(fn, "__name__", None)
+        if key is not None:
+            key = f"{key}@{host._kernel_tier}"
         if eligible:
             units = float(np.sum(weights)) if weights is not None \
                 else float(n)
@@ -839,7 +865,8 @@ class ExecutionContext:
             lo, hi = chunks[ci]
             try:
                 futs[pool.submit(run_kernel_task, kern.name, specs,
-                                 kern.scalars, lo, hi, timed, fault)] = ci
+                                 kern.scalars, lo, hi, timed, fault,
+                                 kern.tier or self.kernel_tier)] = ci
             except BrokenProcessPool:
                 # A worker death can be noticed *while* the wave is
                 # still being submitted; requeue this chunk and every
@@ -1095,6 +1122,7 @@ class ExecutionContext:
         including the exclusive per-phase wall split recorded so far."""
         return {"backend": self.backend, "workers": self.workers,
                 "adaptive": self.adaptive,
+                "kernel_tier": self.kernel_tier,
                 "wall_by_phase": dict(self.wall_by_phase)}
 
 
@@ -1108,7 +1136,9 @@ def resolve_context(ctx: ExecutionContext | None,
                     weighted_chunks: bool | None = None,
                     faults=None,
                     adaptive=None,
-                    shards: int | None = None) -> tuple[ExecutionContext, bool]:
+                    shards: int | None = None,
+                    kernel_tier: str | None = None,
+                    ) -> tuple[ExecutionContext, bool]:
     """Return ``(context, owns)`` for an engine entry point.
 
     When the caller supplied a context it is used as-is (``owns`` False:
@@ -1124,4 +1154,4 @@ def resolve_context(ctx: ExecutionContext | None,
                             trace=trace,
                             weighted_chunks=weighted_chunks,
                             faults=faults, adaptive=adaptive,
-                            shards=shards), True
+                            shards=shards, kernel_tier=kernel_tier), True

@@ -39,6 +39,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..primitives import tiers as _tiers
 from ..primitives.kernels import (
     ScratchArena,
     grouped_mex,
@@ -56,6 +57,11 @@ class Kernel:
     so two engines sharing one run (an ADG ordering inside a JP run)
     never collide.  ``scalars`` must be picklable plain values.
 
+    ``tier`` pins the kernel tier the chunk must execute under (None
+    defers to the process-global active tier) — it travels with the
+    descriptor so a forkserver worker resolves the same tier as the
+    coordinator that built it.
+
     Calling the descriptor runs the kernel in-process on the arrays as
     given — the serial/threaded fast path.
     """
@@ -64,8 +70,11 @@ class Kernel:
     ns: str
     arrays: dict = field(default_factory=dict)
     scalars: dict = field(default_factory=dict)
+    tier: str | None = None
 
     def __call__(self, lo: int, hi: int):
+        if self.tier is not None and self.tier != _tiers.active_kernel_tier():
+            _tiers.set_kernel_tier(self.tier)
         return KERNELS[self.name](lo, hi, self.arrays, **self.scalars)
 
 
@@ -132,6 +141,14 @@ def jp_wave(lo: int, hi: int, a: dict):
     """
     part = a["frontier"][lo:hi]
     ranks, colors = a["ranks"], a["colors"]
+    if _tiers._ACTIVE == "numba":
+        # Fully fused compiled path: one pass over the chunk's CSR rows
+        # computes colors, successors, and the wave counters directly —
+        # bit-identical to the NumPy path below (parity-tested).
+        chunk_colors, succ, k, wave_deg = _tiers._COMPILED.jp_wave_fused(
+            a["indptr"], a["indices"], part, ranks, colors,
+            scratch=scratch())
+        return part, chunk_colors, succ, k, wave_deg
     ws = scratch()
     seg, nbrs = _batch_neighbors(a["indptr"], a["indices"], part, ws)
     k = nbrs.size

@@ -238,13 +238,19 @@ def _view(spec: ArraySpec) -> np.ndarray:
 _WORKER_CPU_BASE: list[float] = []
 
 
-def _pool_worker_init(extra_sys_path: list[str]) -> None:
+def _pool_worker_init(extra_sys_path: list[str],
+                      kernel_tier: str = "numpy") -> None:
     """Worker initializer: mirror the coordinator's import path (the
-    coordinator may run from a source tree that is not installed) and
-    stamp the resource-telemetry CPU baseline."""
+    coordinator may run from a source tree that is not installed),
+    resolve the coordinator's kernel tier (priming the numba compile
+    cache *here*, never inside a timed span), and stamp the
+    resource-telemetry CPU baseline last so compile/import time is
+    excluded from the worker's reported cpu_s."""
     for p in reversed(extra_sys_path):
         if p not in sys.path:
             sys.path.insert(0, p)
+    from ..primitives.tiers import set_kernel_tier
+    set_kernel_tier(kernel_tier)
     t = os.times()
     _WORKER_CPU_BASE[:] = [float(t.user + t.system)]
 
@@ -264,7 +270,8 @@ def worker_probe() -> dict:
 
 
 def run_kernel_task(kernel_name: str, specs: dict, scalars: dict,
-                    lo: int, hi: int, timed: bool, fault=None):
+                    lo: int, hi: int, timed: bool, fault=None,
+                    tier: str | None = None):
     """Execute one chunk of a kernel descriptor inside a worker.
 
     With ``timed`` the chunk wall and the worker's pid ride back for
@@ -281,6 +288,12 @@ def run_kernel_task(kernel_name: str, specs: dict, scalars: dict,
     """
     from .kernels import KERNELS
 
+    if tier is not None:
+        # Normally a no-op (the pool initializer already resolved the
+        # run's tier); re-asserting per task keeps a worker honest when
+        # two contexts with different tiers share a process lifetime.
+        from ..primitives.tiers import set_kernel_tier
+        set_kernel_tier(tier)
     if fault is not None:
         from .faults import worker_apply
         worker_apply(fault)
@@ -293,8 +306,14 @@ def run_kernel_task(kernel_name: str, specs: dict, scalars: dict,
     return res, c0, time.perf_counter(), os.getpid()
 
 
-def create_pool(workers: int) -> ProcessPoolExecutor:
-    """A persistent forkserver pool (spawn where unavailable)."""
+def create_pool(workers: int,
+                kernel_tier: str = "numpy") -> ProcessPoolExecutor:
+    """A persistent forkserver pool (spawn where unavailable).
+
+    ``kernel_tier`` is the coordinator's *resolved* tier; every worker
+    asserts it (and primes the compiled tier's jit cache) in its
+    initializer, so chunk walls never include compilation.
+    """
     methods = mp.get_all_start_methods()
     method = "forkserver" if "forkserver" in methods else "spawn"
     ctx = mp.get_context(method)
@@ -308,4 +327,4 @@ def create_pool(workers: int) -> ProcessPoolExecutor:
             pass
     return ProcessPoolExecutor(max_workers=workers, mp_context=ctx,
                                initializer=_pool_worker_init,
-                               initargs=(list(sys.path),))
+                               initargs=(list(sys.path), kernel_tier))

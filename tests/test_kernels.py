@@ -302,6 +302,25 @@ class TestScratchArena:
         assert d["bytes"] >= 64 * 8
         assert d["hits"] == 1 and d["misses"] == 1
 
+    def test_dtype_alternation_no_thrash(self):
+        # Regression: a key alternating between two dtypes used to
+        # evict and reallocate every call; buffers are keyed on
+        # (key, dtype), so after one miss per dtype every further take
+        # is a hit against a stable buffer.
+        ws = ScratchArena()
+        a0 = ws.take("k", 32)               # miss (int64)
+        b0 = ws.take("k", 32, bool)         # miss (bool)
+        assert ws.describe()["buffers"] == 2
+        assert ws.hits == 0 and ws.misses == 2
+        for _ in range(5):
+            a = ws.take("k", 32)
+            b = ws.take("k", 32, bool)
+            assert np.shares_memory(a, a0)
+            assert np.shares_memory(b, b0)
+        d = ws.describe()
+        assert d["buffers"] == 2
+        assert d["hits"] == 10 and d["misses"] == 2
+
 
 class TestOutParameterParity:
     """out=/scratch=/seg= move where temporaries live, never the bits."""
