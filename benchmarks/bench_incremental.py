@@ -1,0 +1,164 @@
+"""Micro-benchmark: incremental recoloring vs full recompute.
+
+The dynamic-graph service's promise is that a small delta costs a
+small repair: applying a single-edge insert to a live
+:class:`~repro.coloring.IncrementalColoring` — CSR merge, frontier
+repair under the run-global cap, bound certification — must come in
+well under the cost of recomputing the decomposition and coloring from
+scratch.  The acceptance bar this file documents: on the Table-V-scale
+Kronecker graph, the **median single-edge-delta wall stays under 10%
+of the full-recompute wall** (``repair_ratio < 0.10``); the per-delta
+recolor counts stay far below n.
+
+Results go to ``BENCH_incremental.json``.  Runnable standalone (no
+pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py [OUT.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.coloring.incremental import IncrementalColoring
+from repro.coloring.verify import assert_valid_coloring
+from repro.graphs.delta import GraphDelta
+from repro.graphs.generators import gnm_random, kronecker
+
+REPEATS = 3
+N_DELTAS = 20
+ALGORITHM = "DEC-ADG-ITR"
+EPS = 0.01
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_incremental.json")
+DEFAULT_LEDGER = os.path.join(os.path.dirname(__file__), "..",
+                              "results", "ledger.jsonl")
+
+
+def _ledger():
+    """Flight-recorder sink: ``$REPRO_LEDGER`` wins (incl. ``off``);
+    otherwise the repo's ``results/ledger.jsonl``."""
+    from repro.obs.ledger import resolve_ledger
+
+    if "REPRO_LEDGER" in os.environ:
+        return resolve_ledger(None)
+    return resolve_ledger(DEFAULT_LEDGER)
+
+
+def _graphs() -> list:
+    return [
+        gnm_random(n=8192, m=65536, seed=0),
+        # Table-V scale: the acceptance bar's graph.
+        kronecker(scale=14, edge_factor=16, seed=0),
+    ]
+
+
+def _single_edge_deltas(g, count: int, seed: int) -> list[GraphDelta]:
+    """``count`` distinct edge inserts that do not exist in ``g``."""
+    rng = np.random.default_rng(seed)
+    out: list[GraphDelta] = []
+    seen = set()
+    while len(out) < count:
+        u, v = (int(x) for x in rng.integers(0, g.n, 2))
+        if u == v or (u, v) in seen or g.has_edge(u, v):
+            continue
+        seen.add((u, v))
+        seen.add((v, u))
+        out.append(GraphDelta(
+            add_edges=np.array([[u, v]], dtype=np.int64)))
+    return out
+
+
+def measure_graph(g) -> dict:
+    """Full-recompute wall vs per-single-edge-delta wall on one graph."""
+    inc = IncrementalColoring(g, ALGORITHM, eps=EPS, seed=0,
+                              backend="serial")
+    try:
+        full_best = float("inf")
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            inc._full_recompute()
+            full_best = min(full_best, time.perf_counter() - t0)
+
+        deltas = _single_edge_deltas(inc.graph, N_DELTAS, seed=99)
+        walls, repaired, full_recomputes = [], 0, 0
+        for delta in deltas:
+            t0 = time.perf_counter()
+            report = inc.apply_delta(delta)
+            walls.append(time.perf_counter() - t0)
+            repaired += report["repaired"]
+            full_recomputes += int(report["full_recompute"])
+        assert_valid_coloring(inc.graph, inc.colors)
+        final = inc.verify()
+        assert final["valid"] and final["within_bound"], final
+    finally:
+        inc.close()
+
+    median = float(np.median(walls))
+    return {
+        "graph": g.name, "n": g.n, "m": g.m,
+        "algorithm": ALGORITHM, "eps": EPS,
+        "repeats": REPEATS, "deltas": N_DELTAS,
+        "full_wall_s": round(full_best, 6),
+        "delta_wall_median_s": round(median, 6),
+        "delta_wall_max_s": round(max(walls), 6),
+        "repair_ratio": round(median / full_best, 6),
+        "repaired_total": repaired,
+        "full_recomputes": full_recomputes,
+        "colors": final["colors"], "bound": final["bound"],
+        "degeneracy": final["degeneracy"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    out = argv[0] if argv else DEFAULT_OUT
+    rows = [measure_graph(g) for g in _graphs()]
+    report = {
+        "benchmark": "incremental",
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    book = _ledger()
+    if book.enabled:
+        from repro.obs.ledger import bench_record
+        for row in rows:
+            book.append(bench_record("incremental", row))
+    for r in rows:
+        print(f"{r['graph']} (n={r['n']}, m={r['m']}): "
+              f"full {r['full_wall_s']*1e3:.1f} ms, "
+              f"single-edge delta median "
+              f"{r['delta_wall_median_s']*1e3:.2f} ms "
+              f"(ratio {r['repair_ratio']:.4f}), "
+              f"{r['repaired_total']} recolors / {r['deltas']} deltas, "
+              f"{r['full_recomputes']} full recomputes")
+    bar = max(r["repair_ratio"] for r in rows
+              if r["graph"].startswith("kron"))
+    print(f"acceptance: kronecker repair ratio {bar:.4f} (< 0.10 required)")
+    print(f"wrote {out}")
+    if book.enabled:
+        print(f"appended {len(rows)} bench record(s) to {book.path}")
+    return 0
+
+
+def test_report_incremental(benchmark):
+    """Pytest entry: the locality bar on a mid-size Kronecker graph."""
+    from .conftest import run_once
+
+    g = kronecker(scale=11, edge_factor=8, seed=0)
+    row = run_once(benchmark, lambda: measure_graph(g))
+    assert row["repair_ratio"] < 0.10
+    assert row["repaired_total"] < 0.1 * g.n
+    assert row["colors"] <= row["bound"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,7 +2,11 @@
 
 Commands
 --------
-color    Color a graph file (or a generated graph) with any algorithm.
+color    Color a graph file (or a generated graph) with any algorithm;
+         ``--delta SPEC`` recolors incrementally through a delta
+         sequence instead.
+serve    Run the JSON-lines TCP coloring service (color / verify /
+         profile / apply_delta requests, digest-keyed result cache).
 order    Compute a vertex ordering and report its quality metrics.
 stats    Structural statistics of a graph.
 suite    Run the Fig.-1-style harness over a dataset suite.
@@ -87,6 +91,8 @@ def load_graph(args: argparse.Namespace) -> CSRGraph:
 
 
 def cmd_color(args: argparse.Namespace) -> int:
+    if getattr(args, "delta", None):
+        return _color_with_deltas(args)
     g = load_graph(args)
     kwargs: dict = {"seed": args.seed}
     if args.algorithm in ("JP-ADG", "DEC-ADG-ITR"):
@@ -118,6 +124,57 @@ def cmd_color(args: argparse.Namespace) -> int:
         np.savetxt(args.output, res.colors, fmt="%d")
         print(f"colors written to {args.output}", file=sys.stderr)
     return 0
+
+
+def _color_with_deltas(args: argparse.Namespace) -> int:
+    """``color --delta SPEC``: incremental recoloring through a delta
+    sequence, one report row per delta plus a final verified summary."""
+    from .coloring.incremental import INCREMENTAL_FAMILY, IncrementalColoring
+    from .graphs.delta import parse_delta_spec
+
+    if args.algorithm not in INCREMENTAL_FAMILY:
+        raise SystemExit(f"--delta requires one of {INCREMENTAL_FAMILY}; "
+                         f"got {args.algorithm!r}")
+    g = load_graph(args)
+    deltas = [parse_delta_spec(spec) for spec in args.delta]
+    rows = []
+    with IncrementalColoring(g, args.algorithm, eps=args.eps,
+                             seed=args.seed, backend=args.backend,
+                             workers=args.workers) as inc:
+        for i, delta in enumerate(deltas):
+            report = inc.apply_delta(delta)
+            rows.append({"delta": i, "spec": args.delta[i], **report})
+        final = inc.verify()
+        assert_valid_coloring(inc.graph, inc.colors)
+        summary = {"algorithm": args.algorithm, "graph": g.name,
+                   "deltas": len(deltas), **final, **inc.stats}
+        from .obs.ledger import resolve_ledger, service_record
+        book = resolve_ledger(None)  # env seam: --ledger -> $REPRO_LEDGER
+        if book.enabled:
+            book.append(service_record("cli_delta", {
+                "graph": g.name, "digest": inc.graph.content_digest,
+                "algorithm": args.algorithm, "eps": args.eps,
+                "n": inc.graph.n, "m": inc.graph.m, **summary}))
+        if args.output:
+            import numpy as np
+            np.savetxt(args.output, inc.colors, fmt="%d")
+            print(f"colors written to {args.output}", file=sys.stderr)
+    if args.json:
+        print(json.dumps({"deltas": rows, "summary": summary}))
+    else:
+        print(format_table(rows))
+        print(format_table([summary]))
+    return 0 if final["valid"] and final["within_bound"] else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service.net import run_service
+
+    return run_service(host=args.host, port=args.port,
+                       workers=args.svc_workers,
+                       backend=args.backend,
+                       ctx_workers=args.workers,
+                       cache_size=args.cache_size)
 
 
 def cmd_order(args: argparse.Namespace) -> int:
@@ -411,6 +468,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_color.add_argument("--algorithm", default="JP-ADG",
                          choices=sorted(ALGORITHMS))
     p_color.add_argument("--output", help="write per-vertex colors here")
+    p_color.add_argument("--delta", action="append", metavar="SPEC",
+                         help="apply a graph delta and recolor "
+                              "incrementally (repeatable; DEC-family "
+                              "algorithms only); grammar: "
+                              "'add:u-v,...;del:u-v;addv:N;delv:v,...'")
     p_color.set_defaults(fn=cmd_color)
 
     p_order = sub.add_parser("order", help="compute a vertex ordering")
@@ -438,6 +500,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--algorithm", default="JP-ADG",
                            choices=sorted(ALGORITHMS))
     p_profile.set_defaults(fn=cmd_profile)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the JSON-lines TCP coloring service")
+    common(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642)
+    p_serve.add_argument("--svc-workers", dest="svc_workers", type=int,
+                         default=2,
+                         help="concurrent request workers (each borrows "
+                              "a long-lived execution context)")
+    p_serve.add_argument("--cache-size", dest="cache_size", type=int,
+                         default=128,
+                         help="digest-keyed result cache capacity")
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_repro = sub.add_parser(
         "reproduce", help="regenerate every paper table/figure")

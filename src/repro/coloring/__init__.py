@@ -10,6 +10,7 @@ from .distance2 import (
 )
 from .exact import chromatic_number, optimal_coloring
 from .gm import gm_coloring
+from .incremental import INCREMENTAL_FAMILY, IncrementalColoring
 from .greedy import greedy, greedy_by_name, greedy_color_sequence
 from .jp import (
     jp,
@@ -24,6 +25,12 @@ from .jp import (
 from .mis import luby_coloring, luby_mis
 from .recolor import class_block_sequence, iterated_greedy, recolor_pass
 from .reduction import color_reduction
+from .repair import (
+    SIMCOL_FAMILY,
+    deg_ge_array,
+    repair_caps,
+    repair_frontier,
+)
 from .registry import (
     ALGORITHMS,
     FIGURE1_SET,
@@ -56,6 +63,8 @@ __all__ = [
     "greedy", "greedy_by_name", "greedy_color_sequence",
     "itr", "itr_asl", "itrb", "sim_col", "dec_adg", "dec_adg_m", "dec_adg_itr",
     "sharded_color",
+    "INCREMENTAL_FAMILY", "IncrementalColoring",
+    "SIMCOL_FAMILY", "deg_ge_array", "repair_caps", "repair_frontier",
     "luby_coloring", "luby_mis", "gm_coloring",
     "greedy_distance2", "is_valid_distance2", "jp_distance2", "square_graph",
     "color_reduction",

@@ -46,14 +46,15 @@ from ..graphs.csr import CSRGraph
 from ..machine.costmodel import log2_ceil
 from ..ordering.adg import adg_ordering
 from ..ordering.base import random_tiebreak
-from ..primitives.kernels import grouped_mex, segment_any
 from ..runtime import ExecutionContext, ShardedContext, plan_shards
 from .dec_adg import color_partitions
 from .dec_adg_itr import itr_color_partitions
+from .repair import SIMCOL_FAMILY, deg_ge_array, repair_caps, repair_frontier
 from .result import ColoringResult
 
 #: Engines whose interior is SIM-COL (random draws, (2+eps)d bound).
-_SIMCOL_FAMILY = ("DEC-ADG", "DEC-ADG-M")
+#: Shared with incremental recoloring — see repro.coloring.repair.
+_SIMCOL_FAMILY = SIMCOL_FAMILY
 
 #: The dotted runner handed to the runtime layer (resolved in workers).
 SHARD_RUNNER = "repro.coloring.sharded:run_shard_local"
@@ -115,17 +116,6 @@ def run_shard_local(arrays: dict, *, algorithm: str, eps: float,
             "conflicts": int(conflicts), "cost": ctx.cost, "mem": ctx.mem}
 
 
-def _deg_ge(g: CSRGraph, levels: np.ndarray,
-            ctx: ExecutionContext) -> np.ndarray:
-    """deg_l(v): neighbors of v in its own or higher levels — the
-    run-global Lemma-4 quantity that caps every repair recolor."""
-    src, dst = g.edge_array()
-    ge = levels[dst] >= levels[src]
-    ctx.cost.round(4 * g.m + g.n, 1)
-    ctx.mem.stream(4 * g.m, "shard:repair")
-    return np.bincount(src[ge], minlength=g.n).astype(np.int64)
-
-
 def _boundary_repair(g: CSRGraph, colors: np.ndarray, levels: np.ndarray,
                      priority: np.ndarray, plan, eps: float,
                      algorithm: str, ctx: ExecutionContext,
@@ -134,12 +124,12 @@ def _boundary_repair(g: CSRGraph, colors: np.ndarray, levels: np.ndarray,
 
     Mutates ``colors`` in place; returns ``(rounds, recolored)`` where
     ``recolored`` counts recoloring attempts (the sharded analogue of
-    conflicts resolved).  Every chosen color is <= the vertex's cap, so
-    the engine's quality bound is preserved — see the module docstring
-    for the cascade argument.
+    conflicts resolved).  The loop itself is the shared
+    :func:`repro.coloring.repair.repair_frontier`: every chosen color
+    is <= the vertex's cap, so the engine's quality bound is preserved
+    — see that module for the cascade argument.
     """
     u, v = plan.cross_u, plan.cross_v
-    tracer = ctx.tracer
     cost, mem = ctx.cost, ctx.mem
     if u.size == 0:
         return 0, 0
@@ -149,12 +139,8 @@ def _boundary_repair(g: CSRGraph, colors: np.ndarray, levels: np.ndarray,
     if not bad.any():
         return 0, 0
 
-    deg_ge = _deg_ge(g, levels, ctx)
-    if algorithm in _SIMCOL_FAMILY:
-        cap = np.maximum(1, np.ceil((1.0 + eps / 4.0)
-                                    * deg_ge)).astype(np.int64)
-    else:
-        cap = deg_ge + 1
+    cap = repair_caps(deg_ge_array(g, levels, ctx, label="shard:repair"),
+                      algorithm, eps)
 
     # Exactly one endpoint of each conflicted edge yields: the
     # lexicographically smaller (level, priority) — lower levels defer
@@ -163,56 +149,8 @@ def _boundary_repair(g: CSRGraph, colors: np.ndarray, levels: np.ndarray,
     u_loses = (levels[uu] < levels[vv]) | \
         ((levels[uu] == levels[vv]) & (priority[uu] < priority[vv]))
     active = np.unique(np.where(u_loses, uu, vv))
-
-    limit = max_rounds if max_rounds is not None else 4 * g.n + 64
-    is_active = np.zeros(g.n, dtype=bool)
-    rounds = 0
-    recolored = 0
-    while active.size:
-        rounds += 1
-        if rounds > limit:
-            raise RuntimeError("boundary repair failed to converge")
-        recolored += int(active.size)
-
-        # Speculate: mex over all neighbors if it fits the cap, else
-        # the always-fitting mex over same-or-higher-level neighbors.
-        colors[active] = 0
-        seg, nbrs = g.batch_neighbors(active)
-        ncol = colors[nbrs]
-        c_all = grouped_mex(seg, ncol, active.size, scratch=ctx.scratch)
-        lv_act = levels[active]
-        ge = levels[nbrs] >= lv_act[seg]
-        c_ge = grouped_mex(seg, np.where(ge, ncol, 0), active.size,
-                           scratch=ctx.scratch)
-        chosen = np.where(c_all <= cap[active], c_all, c_ge)
-        colors[active] = chosen
-
-        # Detect: active-active ties resolve by (level, priority);
-        # an active-committed collision (only possible against a
-        # strictly lower level, via c_ge) cascades the committed
-        # vertex — but only under winners, losers retry first.
-        ncol = colors[nbrs]
-        same = ncol == chosen[seg]
-        is_active[active] = True
-        act_nbr = is_active[nbrs]
-        pr_act = priority[active]
-        beaten = same & act_nbr & (
-            (levels[nbrs] > lv_act[seg]) |
-            ((levels[nbrs] == lv_act[seg]) & (priority[nbrs] > pr_act[seg])))
-        self_lost = segment_any(beaten, seg, active.size)
-        cascade = np.unique(nbrs[same & ~act_nbr & ~self_lost[seg]])
-
-        cost.round(2 * int(active.size) + 4 * int(nbrs.size),
-                   log2_ceil(max(g.max_degree, 1)) + 1)
-        mem.gather(2 * int(nbrs.size), "shard:repair")
-        if tracer.enabled:
-            tracer.gauge("shard.repair_active", int(active.size),
-                         round=rounds)
-            tracer.count("shard.repair_recolored", int(active.size),
-                         round=rounds)
-        is_active[active] = False
-        active = np.union1d(active[self_lost], cascade)
-    return rounds, recolored
+    return repair_frontier(g, colors, levels, priority, active, cap, ctx,
+                           max_rounds=max_rounds, metric="shard")
 
 
 def sharded_color(g: CSRGraph, algorithm: str, eps: float,

@@ -20,6 +20,13 @@ from .builders import (
     to_networkx,
 )
 from .csr import CSRGraph
+from .delta import (
+    AppliedDelta,
+    GraphDelta,
+    apply_delta,
+    format_delta_spec,
+    parse_delta_spec,
+)
 from .generators import (
     barabasi_albert,
     chung_lu,
@@ -64,6 +71,8 @@ from .transforms import (
 
 __all__ = [
     "CSRGraph",
+    "AppliedDelta", "GraphDelta", "apply_delta", "format_delta_spec",
+    "parse_delta_spec",
     "average_local_clustering", "bfs_distances", "degree_assortativity",
     "degree_histogram", "effective_diameter", "global_clustering",
     "triangle_count", "triangles_per_vertex",

@@ -8,12 +8,18 @@ and ``indices`` (2m int64 neighbor ids, sorted within each row).
 
 from __future__ import annotations
 
+import hashlib
+
 from dataclasses import dataclass, field
 from functools import cached_property
 
 import numpy as np
 
 from ..primitives.kernels import multi_slice_gather, segment_ids
+
+#: The cached_property names that derive from indptr/indices and must
+#: be dropped whenever the arrays are swapped (see replace_arrays).
+_DERIVED_CACHES = ("degrees", "max_degree", "min_degree", "content_digest")
 
 
 @dataclass(frozen=True)
@@ -72,6 +78,23 @@ class CSRGraph:
             return 0
         return int(self.degrees.min())
 
+    @cached_property
+    def content_digest(self) -> str:
+        """Stable content hash of the adjacency structure (16 hex chars).
+
+        Two graphs share a digest iff they share the exact
+        indptr/indices arrays — the ledger's cell identity and the
+        service cache's graph key.  Cached per instance;
+        :meth:`replace_arrays` invalidates it along with the cached
+        degree statistics, so a mutated graph can never answer with a
+        stale digest.
+        """
+        h = hashlib.sha256()
+        h.update(f"{self.n}:{self.m}:".encode())
+        h.update(np.ascontiguousarray(self.indptr).tobytes())
+        h.update(np.ascontiguousarray(self.indices).tobytes())
+        return h.hexdigest()[:16]
+
     @property
     def avg_degree(self) -> float:
         """delta-hat: the average degree (0.0 for an empty graph)."""
@@ -117,6 +140,40 @@ class CSRGraph:
         row = self.neighbors(u)
         i = int(np.searchsorted(row, v))
         return i < row.size and int(row[i]) == v
+
+    # -- mutation (delta application) -----------------------------------------
+
+    def invalidate_caches(self) -> None:
+        """Drop every cached property derived from the arrays.
+
+        ``degrees`` / ``max_degree`` / ``min_degree`` /
+        ``content_digest`` are all cached per instance under the
+        immutability assumption; any helper that swaps the arrays must
+        call this (``replace_arrays`` does) or stale statistics — and,
+        worse, a stale digest keying a result cache — survive the
+        mutation.
+        """
+        for name in _DERIVED_CACHES:
+            self.__dict__.pop(name, None)
+
+    def replace_arrays(self, indptr: np.ndarray,
+                       indices: np.ndarray) -> None:
+        """Swap in a new adjacency structure, in place.
+
+        The one sanctioned mutation seam (used by
+        :func:`repro.graphs.delta.apply_delta` with ``in_place=True``):
+        the dataclass is frozen, so the swap goes through
+        ``object.__setattr__``, and every derived cache is invalidated
+        so degree statistics and the content digest are recomputed on
+        next access.  ``n`` may change (vertex additions); callers keep
+        per-vertex arrays aligned themselves.
+        """
+        if indptr.size == 0 or indptr[0] != 0 \
+                or indptr[-1] != indices.size:
+            raise ValueError("replace_arrays: inconsistent indptr/indices")
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        self.invalidate_caches()
 
     # -- integrity -------------------------------------------------------------
 

@@ -38,8 +38,9 @@ LEDGER_SCHEMA = "repro.ledger/v1"
 
 #: Record kinds: "run" = one engine execution appended by the runtime,
 #: "suite" = one bench-harness RunRecord, "bench" = one benchmark-script
-#: row (free-form payload under "row").
-KINDS = ("run", "suite", "bench")
+#: row (free-form payload under "row"), "service" = one coloring-service
+#: request (op name + free-form payload under "row").
+KINDS = ("run", "suite", "bench", "service")
 
 #: Where ``$REPRO_LEDGER=1`` / ``ledger=True`` points.
 DEFAULT_LEDGER_PATH = os.path.join("results", "ledger.jsonl")
@@ -141,8 +142,13 @@ def graph_digest(g) -> str:
     Hashes n, m, and the raw ``indptr``/``indices`` bytes — two graphs
     share a digest iff they share the exact adjacency structure, so a
     ledger cell compares like with like even when generator names
-    collide.  O(m); only computed on ledger-enabled runs.
+    collide.  O(m), but :class:`~repro.graphs.csr.CSRGraph` caches it
+    per instance (``content_digest``, invalidated on mutation), so
+    repeated service requests against a warm graph pay it once.
     """
+    cached = getattr(g, "content_digest", None)
+    if cached is not None:
+        return cached
     h = hashlib.sha256()
     h.update(f"{g.n}:{g.m}:".encode())
     h.update(g.indptr.tobytes())
@@ -278,6 +284,24 @@ def bench_record(source: str, row: dict) -> dict:
     }
 
 
+def service_record(op: str, row: dict) -> dict:
+    """One coloring-service request as a ledger record.
+
+    ``op`` is the request verb (color / verify / profile / apply_delta
+    / load); ``row`` the request's digest — graph digest, cache
+    hit/miss, repaired-vertex counts, wall — free-form like a bench
+    row, so the service can evolve its payload without schema bumps.
+    """
+    return {
+        "schema": LEDGER_SCHEMA,
+        "kind": "service",
+        "ts": round(time.time(), 3),
+        "git_sha": git_sha(),
+        "op": op,
+        "row": row,
+    }
+
+
 # -- reading / validation -----------------------------------------------------
 
 def read_ledger(path: str) -> list[dict]:
@@ -309,6 +333,12 @@ def validate_ledger_record(rec: dict, where: str = "ledger") -> None:
                  "bench.source must be a string")
         _require(isinstance(rec.get("row"), dict), where,
                  "bench.row must be an object")
+        return
+    if kind == "service":
+        _require(isinstance(rec.get("op"), str), where,
+                 "service.op must be a string")
+        _require(isinstance(rec.get("row"), dict), where,
+                 "service.row must be an object")
         return
     # 5 pipes is the current form (…|kernel_tier); 4 pipes is accepted
     # for ledgers recorded before the kernel-tier field existed.

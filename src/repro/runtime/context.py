@@ -500,6 +500,17 @@ class ExecutionContext:
                 self._arena = None
             self.tracer.flush()
 
+    def reset_books(self) -> None:
+        """Zero the cost/mem books and phase timers, keep the machinery.
+
+        The service layer calls this between requests so one long-lived
+        context (pools, arena, kernel tier, fault budgets all persist)
+        yields per-request accounting instead of a running total.
+        """
+        self.cost = CostModel(crew=self.cost.crew)
+        self.mem = MemoryModel()
+        self.wall_by_phase = {}
+
     def child(self, cost: CostModel | None = None,
               mem: MemoryModel | None = None,
               crew: bool = False) -> "ExecutionContext":

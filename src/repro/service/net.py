@@ -1,0 +1,96 @@
+"""JSON-lines TCP front end for :class:`ColoringService`.
+
+Wire protocol: one JSON object per line, both directions.  Each request
+line gets exactly one response line (order-preserving per connection).
+A ``{"op": "shutdown"}`` request is acknowledged, then the server
+drains and exits — the shape the CI smoke client scripts against.
+
+:class:`ServiceClient` is a small *synchronous* client (plain sockets)
+so shell scripts and tests can drive a server without asyncio plumbing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+from .server import ColoringService
+
+
+async def _handle_connection(service: ColoringService,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            request = None
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                response = {"ok": False, "error": f"bad request: {exc}"}
+            else:
+                response = await service.submit(request)
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+            if isinstance(request, dict) and request.get("op") == "shutdown":
+                break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+async def serve(host: str = "127.0.0.1", port: int = 8642,
+                **service_kwargs) -> None:
+    """Run the TCP service until a ``shutdown`` request arrives."""
+    async with ColoringService(**service_kwargs) as service:
+        server = await asyncio.start_server(
+            lambda r, w: _handle_connection(service, r, w), host, port)
+        addr = server.sockets[0].getsockname()
+        print(f"repro-service listening on {addr[0]}:{addr[1]}",
+              flush=True)
+        async with server:
+            await service.shutdown_event.wait()
+
+
+def run_service(host: str = "127.0.0.1", port: int = 8642,
+                **service_kwargs) -> int:
+    """Blocking entry point (the CLI's ``serve`` subcommand)."""
+    asyncio.run(serve(host, port, **service_kwargs))
+    return 0
+
+
+class ServiceClient:
+    """Synchronous JSON-lines client for scripts and tests."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, **request) -> dict:
+        self._file.write(json.dumps(request).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return json.loads(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -169,3 +169,55 @@ class TestValidate:
     @settings(max_examples=60, deadline=None)
     def test_builders_always_produce_valid_graphs(self, g):
         g.validate()
+
+
+class TestMutationCacheInvalidation:
+    """replace_arrays / apply_delta(in_place=True) must drop every
+    derived cache — a stale content digest would let a digest-keyed
+    result cache serve a coloring of the OLD graph (the service's
+    correctness hazard), and stale degrees would skew every engine."""
+
+    def test_in_place_delta_refreshes_digest_and_degrees(self):
+        from repro.graphs import GraphDelta, apply_delta, gnm_random
+
+        g = gnm_random(60, 150, seed=21)
+        digest_before = g.content_digest
+        degrees_before = g.degrees.copy()
+        max_before = g.max_degree
+        hub = int(np.argmin(degrees_before))
+        spokes = [w for w in range(g.n)
+                  if w != hub and not g.has_edge(hub, w)][:max_before + 2]
+        delta = GraphDelta(add_edges=np.array([[hub, w] for w in spokes]))
+        res = apply_delta(g, delta, in_place=True)
+        assert res.graph is g
+        assert g.content_digest != digest_before
+        assert g.degree(hub) == degrees_before[hub] + len(spokes)
+        assert g.degrees[hub] == degrees_before[hub] + len(spokes)
+        assert g.max_degree >= max_before
+        g.validate()
+
+    def test_mutated_graph_recolors_validly(self):
+        from repro.coloring import color
+        from repro.coloring.verify import assert_valid_coloring
+        from repro.graphs import gnm_random, parse_delta_spec, apply_delta
+
+        g = gnm_random(60, 150, seed=22)
+        first = color("DEC-ADG-ITR", g, eps=0.01, seed=0)
+        assert_valid_coloring(g, first.colors)
+        apply_delta(g, parse_delta_spec("addv:2;add:0-60,60-61;del:0-1"),
+                    in_place=True)
+        second = color("DEC-ADG-ITR", g, eps=0.01, seed=0)
+        assert second.colors.size == g.n == 62
+        assert_valid_coloring(g, second.colors)
+
+    def test_replace_arrays_rejects_inconsistent_input(self):
+        g = from_edges([0], [1], n=2)
+        with pytest.raises(ValueError, match="replace_arrays"):
+            g.replace_arrays(np.array([0, 1]), np.empty(0, dtype=np.int64))
+
+    def test_invalidate_caches_is_idempotent(self):
+        g = from_edges([0, 1], [1, 2], n=3)
+        assert g.max_degree == 2
+        g.invalidate_caches()
+        g.invalidate_caches()  # nothing cached: still fine
+        assert g.max_degree == 2

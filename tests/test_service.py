@@ -1,0 +1,332 @@
+"""The asyncio coloring service: cache, FIFO ordering, fault behavior.
+
+Each test drives an in-process :class:`ColoringService` through
+``asyncio.run`` (the TCP front end gets its own round-trip test at the
+bottom).  Every submit is wrapped in ``asyncio.wait_for`` so a
+regression that hangs a request future fails fast instead of stalling
+the suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.ledger import read_ledger, validate_ledger
+from repro.service import ColoringService, ResultCache, cache_key
+
+TIMEOUT = 120.0
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, TIMEOUT))
+
+
+async def ask(svc, **request):
+    return await asyncio.wait_for(svc.submit(request), TIMEOUT)
+
+
+GNM = {"kind": "gnm", "n": 150, "m": 500, "seed": 4}
+
+
+# -- cache --------------------------------------------------------------------
+
+class TestResultCache:
+    def test_lru_hits_misses_evictions(self):
+        c = ResultCache(capacity=2)
+        assert c.get("a") is None
+        c.put("a", {"x": 1})
+        c.put("b", {"x": 2})
+        assert c.get("a") == {"x": 1}  # refreshes a
+        c.put("c", {"x": 3})           # evicts b (LRU)
+        assert c.get("b") is None
+        assert c.get("a") == {"x": 1} and c.get("c") == {"x": 3}
+        s = c.stats()
+        assert s["hits"] == 3 and s["misses"] == 2 and s["evictions"] == 1
+
+    def test_key_completeness(self):
+        """Every field that can change the observable output must
+        change the key: digest, algorithm, eps, seed, tier, shards."""
+        base = dict(digest="aaaa", algorithm="DEC-ADG-ITR", eps=0.01,
+                    seed=0, kernel_tier="numpy", shards=1)
+        variants = [dict(base, digest="bbbb"),
+                    dict(base, algorithm="DEC-ADG"),
+                    dict(base, eps=0.02),
+                    dict(base, seed=1),
+                    dict(base, kernel_tier="numba"),
+                    dict(base, shards=4)]
+        keys = [cache_key(**base)] + [cache_key(**v) for v in variants]
+        assert len(set(keys)) == len(keys), keys
+
+    def test_same_inputs_same_key(self):
+        kw = dict(digest="aaaa", algorithm="DEC-ADG", eps=6.0, seed=7,
+                  kernel_tier="numpy", shards=2)
+        assert cache_key(**kw) == cache_key(**kw)
+
+
+# -- the service itself -------------------------------------------------------
+
+class TestServiceBasics:
+    def test_color_cache_hit_and_bit_identical_result(self):
+        async def main():
+            async with ColoringService(workers=2,
+                                       backend="serial") as svc:
+                load = await ask(svc, op="load", graph="g", gen=GNM)
+                assert load["ok"] and load["n"] == 150
+                req = dict(op="color", graph="g",
+                           algorithm="DEC-ADG-ITR", eps=0.01, seed=0)
+                first = await ask(svc, **req)
+                second = await ask(svc, **req)
+                assert first["ok"] and not first["cached"]
+                assert second["ok"] and second["cached"]
+                # Bit-identical deterministic block, byte for byte.
+                assert json.dumps(first["result"], sort_keys=True) == \
+                    json.dumps(second["result"], sort_keys=True)
+                stats = await ask(svc, op="stats")
+                assert stats["cache"]["hits"] == 1
+                assert stats["cache"]["misses"] == 1
+        run(main())
+
+    def test_concurrent_storm_counts_hits(self):
+        async def main():
+            async with ColoringService(workers=4,
+                                       backend="serial") as svc:
+                await ask(svc, op="load", graph="g", gen=GNM)
+                req = dict(op="color", graph="g",
+                           algorithm="DEC-ADG-ITR", eps=0.01, seed=0)
+                responses = await asyncio.gather(
+                    *[ask(svc, **req) for _ in range(16)])
+                assert all(r["ok"] for r in responses)
+                blocks = {json.dumps(r["result"], sort_keys=True)
+                          for r in responses}
+                assert len(blocks) == 1  # identical digest -> identical
+                stats = await ask(svc, op="stats")
+                cache = stats["cache"]
+                # FIFO per graph serializes the storm: exactly one miss
+                # computes, fifteen hits replay.
+                assert cache["misses"] == 1 and cache["hits"] == 15
+        run(main())
+
+    def test_distinct_requests_are_distinct_cache_entries(self):
+        async def main():
+            async with ColoringService(workers=2,
+                                       backend="serial") as svc:
+                await ask(svc, op="load", graph="g", gen=GNM)
+                a = await ask(svc, op="color", graph="g",
+                              algorithm="DEC-ADG-ITR", eps=0.01, seed=0)
+                b = await ask(svc, op="color", graph="g",
+                              algorithm="DEC-ADG", eps=6.0, seed=0)
+                c = await ask(svc, op="color", graph="g",
+                              algorithm="DEC-ADG-ITR", eps=0.5, seed=0)
+                assert not any(r["cached"] for r in (a, b, c))
+                stats = await ask(svc, op="stats")
+                assert stats["cache"]["size"] == 3
+        run(main())
+
+    def test_delta_fifo_ordering_under_concurrency(self):
+        """Many concurrent apply_delta submissions must apply in
+        submission order — seq in the response proves the order."""
+        async def main():
+            async with ColoringService(workers=4,
+                                       backend="serial") as svc:
+                await ask(svc, op="load", graph="g",
+                          gen={"kind": "ring", "n": 64})
+                reqs = [dict(op="apply_delta", graph="g",
+                             delta={"add_vertices": 1,
+                                    "add_edges": [[64 + i, i]]})
+                        for i in range(12)]
+                responses = await asyncio.gather(
+                    *[ask(svc, **r) for r in reqs])
+                assert all(r["ok"] for r in responses)
+                # Tickets issued in submission order...
+                assert [r["seq"] for r in responses] == list(range(12))
+                # ...and each delta saw every earlier one applied: the
+                # i-th response reports the post-delta vertex count,
+                # so n grows monotonically from 65.
+                assert [r["n"] for r in responses] == \
+                    [65 + i for i in range(12)]
+                verify = await ask(svc, op="verify", graph="g")
+                assert verify["valid"] and verify["within_bound"]
+        run(main())
+
+    def test_delta_invalidates_color_cache_by_digest(self):
+        async def main():
+            async with ColoringService(workers=2,
+                                       backend="serial") as svc:
+                await ask(svc, op="load", graph="g", gen=GNM)
+                req = dict(op="color", graph="g",
+                           algorithm="DEC-ADG-ITR", eps=0.01, seed=0)
+                before = await ask(svc, **req)
+                await ask(svc, op="apply_delta", graph="g",
+                          delta="add:0-100")
+                after = await ask(svc, **req)
+                assert not after["cached"]
+                assert after["result"]["digest"] != \
+                    before["result"]["digest"]
+        run(main())
+
+    def test_errors_are_responses_not_hangs(self):
+        async def main():
+            async with ColoringService(workers=2,
+                                       backend="serial") as svc:
+                r = await ask(svc, op="color", graph="missing")
+                assert not r["ok"] and "load it first" in r["error"]
+                r = await ask(svc, op="frobnicate")
+                assert not r["ok"]
+                await ask(svc, op="load", graph="g",
+                          gen={"kind": "ring", "n": 8})
+                r = await ask(svc, op="color", graph="g",
+                              algorithm="NO-SUCH")
+                assert not r["ok"] and "unknown algorithm" in r["error"]
+                r = await ask(svc, op="apply_delta", graph="g",
+                              delta="bogus_spec!!")
+                assert not r["ok"]
+        run(main())
+
+    def test_profile_reports_walls(self):
+        async def main():
+            async with ColoringService(workers=2,
+                                       backend="serial") as svc:
+                await ask(svc, op="load", graph="g", gen=GNM)
+                r = await ask(svc, op="profile", graph="g",
+                              algorithm="DEC-ADG-ITR", eps=0.01)
+                assert r["ok"] and r["profile"]["wall_seconds"] > 0
+                assert r["profile"]["backend"] == "serial"
+        run(main())
+
+
+# -- per-request ledger rows --------------------------------------------------
+
+class TestServiceLedger:
+    def test_service_rows_appended_and_valid(self, tmp_path):
+        path = str(tmp_path / "svc_ledger.jsonl")
+
+        async def main():
+            async with ColoringService(workers=2, backend="serial",
+                                       ledger=path) as svc:
+                await ask(svc, op="load", graph="g",
+                          gen={"kind": "ring", "n": 32})
+                await ask(svc, op="color", graph="g",
+                          algorithm="DEC-ADG-ITR", eps=0.01, seed=0)
+                await ask(svc, op="apply_delta", graph="g",
+                          delta="add:0-16")
+                await ask(svc, op="verify", graph="g")
+        run(main())
+        assert validate_ledger(path) == 4
+        rows = read_ledger(path)
+        assert [r["op"] for r in rows] == \
+            ["load", "color", "apply_delta", "verify"]
+        assert all(r["kind"] == "service" for r in rows)
+        assert all(r["row"]["ok"] for r in rows)
+        delta_row = rows[2]["row"]
+        assert delta_row["graph"] == "g" and "digest" in delta_row
+
+
+# -- fault plans: requests complete, never hang -------------------------------
+
+class TestServiceUnderFaults:
+    def test_error_plan_degrades_but_completes(self, monkeypatch):
+        """A plan that exhausts the runtime's own retry budget must
+        surface as a completed, degraded response — not a hang."""
+        monkeypatch.setenv("REPRO_FAULTS", "error@1.0x99;seed=7")
+        monkeypatch.setenv("REPRO_BACKOFF", "0.0")
+
+        async def main():
+            async with ColoringService(workers=2,
+                                       backend="threaded") as svc:
+                await ask(svc, op="load", graph="g", gen=GNM)
+                r = await ask(svc, op="color", graph="g",
+                              algorithm="DEC-ADG-ITR", eps=0.01, seed=0)
+                assert r["ok"]
+                assert r.get("degraded") is True
+                stats = await ask(svc, op="stats")
+                assert stats["metrics"]["svc.retries"]["total"] >= 1
+        run(main())
+
+    def test_kill_plan_on_process_backend_completes(self, monkeypatch):
+        """Mid-request worker death under the process backend: the
+        runtime respawns/degrades or the service backstop fires; either
+        way the future completes with a valid coloring."""
+        monkeypatch.setenv("REPRO_FAULTS", "kill@1.0;seed=7")
+        monkeypatch.setenv("REPRO_BACKOFF", "0.0")
+
+        async def main():
+            async with ColoringService(workers=1,
+                                       backend="process",
+                                       ctx_workers=2) as svc:
+                await ask(svc, op="load", graph="g",
+                          gen={"kind": "gnm", "n": 120, "m": 360,
+                               "seed": 5})
+                r = await ask(svc, op="color", graph="g",
+                              algorithm="DEC-ADG-ITR", eps=0.01, seed=0)
+                assert r["ok"]
+                assert r["result"]["colors"] >= 1
+        run(main())
+
+    def test_faulty_and_quiet_colors_identical(self, monkeypatch):
+        """Fault handling must not leak into results: the degraded
+        response's color count and digest equal the quiet run's."""
+        async def one(env):
+            if env:
+                monkeypatch.setenv("REPRO_FAULTS", env)
+                monkeypatch.setenv("REPRO_BACKOFF", "0.0")
+            else:
+                monkeypatch.delenv("REPRO_FAULTS", raising=False)
+            async with ColoringService(
+                    workers=2,
+                    backend="threaded" if env else "serial") as svc:
+                await ask(svc, op="load", graph="g", gen=GNM)
+                r = await ask(svc, op="color", graph="g",
+                              algorithm="DEC-ADG-ITR", eps=0.01, seed=0)
+                return r["result"]
+
+        quiet = run(one(""))
+        noisy = run(one("error@1.0x99;seed=7"))
+        assert quiet["colors"] == noisy["colors"]
+        assert quiet["colors_digest"] == noisy["colors_digest"]
+
+
+# -- TCP front end ------------------------------------------------------------
+
+class TestNetRoundTrip:
+    def test_tcp_session(self):
+        import socket
+        import subprocess
+        import sys
+        import os
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        env.pop("REPRO_FAULTS", None)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", str(port),
+             "--backend", "serial"],
+            env=env, stdout=subprocess.PIPE, text=True)
+        try:
+            banner = proc.stdout.readline()
+            assert "repro-service listening" in banner
+            from repro.service import ServiceClient
+            with ServiceClient(port=port, timeout=TIMEOUT) as client:
+                r = client.request(op="load", graph="g",
+                                   gen={"kind": "ring", "n": 48})
+                assert r["ok"] and r["m"] == 48
+                for i in range(3):
+                    r = client.request(op="apply_delta", graph="g",
+                                       delta=f"add:0-{10 + i}")
+                    assert r["ok"] and r["seq"] == i
+                r = client.request(op="verify", graph="g")
+                assert r["ok"] and r["valid"] and r["within_bound"]
+                r = client.request(op="shutdown")
+                assert r["ok"]
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
