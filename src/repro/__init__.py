@@ -57,6 +57,7 @@ from .graphs import (
     from_edges,
     gnm_random,
     grid_2d,
+    ingest,
     kronecker,
     path_graph,
     random_tree,
@@ -88,8 +89,9 @@ __all__ = [
     "jp_by_name", "luby_coloring",
     # graphs
     "CSRGraph", "barabasi_albert", "chung_lu", "complete_graph", "degeneracy",
-    "from_edge_list", "from_edges", "gnm_random", "grid_2d", "kronecker",
-    "path_graph", "random_tree", "read_edge_list", "ring", "road_network",
+    "from_edge_list", "from_edges", "gnm_random", "grid_2d", "ingest",
+    "kronecker", "path_graph", "random_tree", "read_edge_list", "ring",
+    "road_network",
     "star", "stats",
     # machine
     "CostModel", "MemoryModel", "simulate",

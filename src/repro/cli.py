@@ -10,6 +10,8 @@ serve    Run the JSON-lines TCP coloring service (color / verify /
 order    Compute a vertex ordering and report its quality metrics.
 stats    Structural statistics of a graph.
 suite    Run the Fig.-1-style harness over a dataset suite.
+ingest   Stream an edge-list file (optionally gzipped) into the CSR
+         binary cache: parallel chunked parse, out-of-core build.
 profile  Trace one run and print per-phase / per-round breakdowns.
 obs      Flight recorder: run the fixed perf matrix / check the ledger
          head against a committed baseline (the regression gate).
@@ -21,7 +23,9 @@ FILE`` to append each run's flight-recorder record to a persistent
 JSONL ledger.
 
 Graphs are read from SNAP edge lists, METIS files, or NPZ (by
-extension), or generated on the fly with ``--gen``.
+extension), generated on the fly with ``--gen``, or streamed through
+the high-throughput ingest pipeline with ``--input`` (every subcommand
+accepts it; repeat loads hit the digest-keyed binary cache).
 """
 
 from __future__ import annotations
@@ -72,7 +76,12 @@ def flush_trace(tracer) -> None:
 
 
 def load_graph(args: argparse.Namespace) -> CSRGraph:
-    """Resolve --graph / --gen into a CSRGraph."""
+    """Resolve --input / --graph / --gen into a CSRGraph."""
+    if getattr(args, "input", None):
+        from .graphs.ingest import ingest
+
+        return ingest(args.input, backend=args.backend,
+                      workers=args.workers)
     if args.gen:
         name, *params = args.gen.split(":")
         if name not in GENERATORS:
@@ -81,7 +90,7 @@ def load_graph(args: argparse.Namespace) -> CSRGraph:
         return GENERATORS[name](params[0].split(",") if params else [],
                                 args.seed)
     if not args.graph:
-        raise SystemExit("provide --graph FILE or --gen SPEC")
+        raise SystemExit("provide --input FILE, --graph FILE or --gen SPEC")
     path = args.graph
     if path.endswith(".npz"):
         return load_npz(path)
@@ -388,6 +397,51 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream an edge-list file into the CSR cache; print a load report."""
+    from .graphs.ingest import ingest_report
+    from .obs.resources import ResourceSampler, current_rss_kb
+    from .runtime import ExecutionContext
+
+    if not args.input:
+        raise SystemExit("ingest needs --input FILE")
+    tracer = make_tracer(args)
+    base_kb = current_rss_kb()
+    sampler = ResourceSampler(tracer=tracer).start()
+    try:
+        with ExecutionContext(backend=args.backend, workers=args.workers,
+                              trace=tracer) as ctx:
+            g, report = ingest_report(
+                args.input, ctx=ctx, comments=args.comments,
+                cache=not args.no_cache, cache_dir=args.cache_dir,
+                spill_dir=args.spill_dir, force=args.force,
+                chunk_bytes=args.chunk_bytes, parser=args.parser)
+    finally:
+        sampler.stop()
+    res = sampler.digest()
+    report["rss_baseline_kb"] = base_kb
+    report["rss_peak_kb"] = res["peak_rss_kb"]
+    report["rss_delta_kb"] = max(0, res["peak_rss_kb"] - base_kb)
+    report["csr_bytes"] = int(g.indptr.nbytes + g.indices.nbytes)
+    from .obs.ledger import resolve_ledger, service_record
+    book = resolve_ledger(None)  # env seam: --ledger -> $REPRO_LEDGER
+    if book.enabled:
+        book.append(service_record("ingest", {
+            k: report[k] for k in sorted(report) if k != "phase_walls"}))
+    if args.json:
+        print(json.dumps(report))
+    else:
+        cols = {"graph": g.name, "n": report["n"], "m": report["m"],
+                "digest": report["digest"],
+                "cached": report["cached"] or "no",
+                "wall_s": round(report["wall_s"], 4),
+                "mb_per_s": round(report["mb_per_s"], 1),
+                "rss_delta_kb": report["rss_delta_kb"]}
+        print(format_table([cols]))
+    flush_trace(tracer)
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     """Flight-recorder commands: run the perf matrix / gate the ledger."""
     from .obs.regress import check_command, run_matrix
@@ -413,6 +467,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--graph", help="SNAP/METIS/NPZ graph file")
         p.add_argument("--gen", help="generator spec, e.g. kronecker:12,8 "
                                      "| gnm:1000,5000 | grid:30,30")
+        p.add_argument("--input", metavar="FILE",
+                       help="edge-list file (optionally .gz) loaded "
+                            "through the streaming ingest pipeline "
+                            "(parallel parse + digest-keyed binary "
+                            "cache); takes precedence over --graph/--gen")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--eps", type=float, default=0.01)
         p.add_argument("--json", action="store_true",
@@ -488,7 +547,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite = sub.add_parser("suite", help="run the harness over a suite")
     common(p_suite)
     p_suite.add_argument("--suite", default="small",
-                         choices=["small", "large", "extra", "all"])
+                         choices=["small", "large", "extra", "real",
+                                  "all"])
     p_suite.add_argument("--algorithms",
                          help="comma-separated algorithm names")
     p_suite.set_defaults(fn=cmd_suite)
@@ -500,6 +560,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--algorithm", default="JP-ADG",
                            choices=sorted(ALGORITHMS))
     p_profile.set_defaults(fn=cmd_profile)
+
+    p_ingest = sub.add_parser(
+        "ingest", help="stream an edge-list file into the CSR binary "
+                       "cache (parallel parse, out-of-core build)")
+    common(p_ingest)
+    p_ingest.add_argument("--comments", default="#",
+                          help="comment-line prefix (default '#')")
+    p_ingest.add_argument("--no-cache", action="store_true",
+                          help="skip the digest-keyed binary cache")
+    p_ingest.add_argument("--force", action="store_true",
+                          help="re-parse even when a cache entry matches")
+    p_ingest.add_argument("--cache-dir", dest="cache_dir",
+                          help="cache directory (default: "
+                               "$REPRO_INGEST_CACHE or "
+                               "<file's dir>/.repro_ingest)")
+    p_ingest.add_argument("--spill-dir", dest="spill_dir",
+                          help="directory for out-of-core spill files "
+                               "(default: the system temp dir)")
+    p_ingest.add_argument("--chunk-bytes", dest="chunk_bytes", type=int,
+                          default=2 << 20,
+                          help="parse-range size in bytes (default 2MiB)")
+    p_ingest.add_argument("--parser",
+                          choices=["auto", "c", "numpy", "python"],
+                          default=None,
+                          help="tokenizer tier (default: "
+                               "$REPRO_INGEST_PARSER or auto)")
+    p_ingest.set_defaults(fn=cmd_ingest)
 
     p_serve = sub.add_parser(
         "serve", help="run the JSON-lines TCP coloring service")

@@ -42,6 +42,11 @@ from .generators import (
     road_network,
     star,
 )
+from .ingest import (
+    ingest,
+    ingest_report,
+    parse_edge_bytes,
+)
 from .io import (
     load_npz,
     read_edge_list,
@@ -82,6 +87,7 @@ __all__ = [
     "barabasi_albert", "chung_lu", "complete_graph", "gnm_random", "grid_2d",
     "kronecker", "path_graph", "planted_kcore", "random_bipartite",
     "random_tree", "ring", "road_network", "star",
+    "ingest", "ingest_report", "parse_edge_bytes",
     "load_npz", "read_edge_list", "read_metis", "save_npz",
     "write_edge_list", "write_metis",
     "GraphStats", "PeelResult", "connected_components", "coreness",

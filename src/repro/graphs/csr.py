@@ -91,8 +91,10 @@ class CSRGraph:
         """
         h = hashlib.sha256()
         h.update(f"{self.n}:{self.m}:".encode())
-        h.update(np.ascontiguousarray(self.indptr).tobytes())
-        h.update(np.ascontiguousarray(self.indices).tobytes())
+        # Feed the raw buffers (same bytes as .tobytes()) so hashing a
+        # large graph never materializes a second copy of its arrays.
+        h.update(np.ascontiguousarray(self.indptr).data)
+        h.update(np.ascontiguousarray(self.indices).data)
         return h.hexdigest()[:16]
 
     @property

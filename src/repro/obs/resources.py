@@ -35,7 +35,21 @@ DEFAULT_INTERVAL_S = 0.02
 
 def peak_rss_kb() -> int:
     """This process's lifetime peak resident set in KiB (0 where
-    unsupported)."""
+    unsupported).
+
+    Prefers ``VmHWM`` from ``/proc/self/status`` over ``ru_maxrss``:
+    on Linux a vfork+exec child (how CPython spawns subprocesses)
+    inherits the parent's mm high-water mark into its ``ru_maxrss``
+    at exec time, so rusage over-reports for any freshly exec'd
+    process whose parent was large.  ``VmHWM`` is reset by exec.
+    """
+    try:
+        with open("/proc/self/status", "rb") as fh:
+            for line in fh:
+                if line.startswith(b"VmHWM:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
     try:
         import resource
     except ImportError:  # pragma: no cover - non-POSIX

@@ -316,3 +316,10 @@ KERNELS: dict[str, Callable] = {
     "itr.choose": itr_choose,
     "itr.conflict": itr_conflict,
 }
+
+# The streaming-ingestion parse kernel lives with the graph substrate
+# (repro.graphs.ingest imports no runtime modules at import time, so
+# this bottom-of-module registration cannot cycle).
+from ..graphs.ingest import ingest_parse_kernel  # noqa: E402
+
+KERNELS["ingest.parse"] = ingest_parse_kernel

@@ -80,12 +80,11 @@ def live_segment_bytes() -> int:
 
 def peak_rss_kb() -> int:
     """This process's lifetime peak resident set in KiB (0 where
-    unsupported).  Shared by shard records and worker probes."""
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-POSIX
-        return 0
-    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    unsupported).  Shared by shard records and worker probes; the
+    obs-layer variant handles the vfork+exec rusage quirk."""
+    from ..obs.resources import peak_rss_kb as _peak
+
+    return _peak()
 
 
 class ArraySpec(NamedTuple):

@@ -119,7 +119,15 @@ class _GraphEntry:
 
 
 def _build_graph(params: dict) -> CSRGraph:
-    """Materialize the ``load`` request's graph (gen spec or edge list)."""
+    """Materialize the ``load`` request's graph.
+
+    Three forms: ``path`` (an edge-list file on the server's disk,
+    streamed through :mod:`repro.graphs.ingest` and its binary cache),
+    ``edges`` (inline pair list), or ``gen`` (generator spec).
+    """
+    if "path" in params:
+        from ..graphs.ingest import ingest
+        return ingest(params["path"])
     if "edges" in params:
         edges = np.asarray(params["edges"], dtype=np.int64)
         if edges.size == 0:
@@ -129,7 +137,8 @@ def _build_graph(params: dict) -> CSRGraph:
         return from_edges(u, v, n=int(n) if n is not None else None)
     gen = params.get("gen")
     if not isinstance(gen, dict) or "kind" not in gen:
-        raise ValueError("load needs 'edges' or a 'gen' dict with 'kind'")
+        raise ValueError(
+            "load needs 'path', 'edges', or a 'gen' dict with 'kind'")
     kind = gen["kind"]
     if kind == "gnm":
         return gnm_random(int(gen["n"]), int(gen["m"]),

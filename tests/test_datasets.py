@@ -4,6 +4,7 @@ import pytest
 
 from repro.bench.datasets import (
     ALL_SUITES,
+    REAL_SUITE,
     EXTRA_SUITE,
     LARGE_SUITE,
     SMALL_SUITE,
@@ -72,3 +73,42 @@ class TestBuild:
         for key in ["m_wta", "s_flx", "v_skt"]:
             g = dataset(key)
             assert 1_000 <= g.n <= 200_000
+
+
+class TestRealSuite:
+    def test_absent_corpus_is_empty_not_error(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_DATASETS", str(tmp_path / "nothing"))
+        assert suite("real") == {}
+        assert not REAL_SUITE["r_pok"].available()
+
+    def test_make_without_file_raises_filenotfound(self, monkeypatch,
+                                                   tmp_path):
+        monkeypatch.setenv("REPRO_DATASETS", str(tmp_path))
+        with pytest.raises(FileNotFoundError, match="r_rca"):
+            REAL_SUITE["r_rca"].make()
+
+    def test_present_file_ingested_and_cached(self, monkeypatch, tmp_path):
+        from repro.graphs.generators import gnm_random
+        from repro.graphs.io import read_edge_list, write_edge_list
+        monkeypatch.setenv("REPRO_DATASETS", str(tmp_path))
+        monkeypatch.setenv("REPRO_INGEST_CACHE", str(tmp_path / "cache"))
+        g0 = gnm_random(60, 200, seed=4)
+        # the plain (decompressed) name satisfies a .gz spec
+        path = tmp_path / "roadNet-CA.txt"
+        write_edge_list(g0, path)
+        clear_cache()
+        try:
+            spec = REAL_SUITE["r_rca"]
+            assert spec.available()
+            g = spec.make()
+            assert g.content_digest == read_edge_list(path).content_digest
+            assert g.name == "r_rca"
+            got = suite("real")
+            assert list(got) == ["r_rca"]
+        finally:
+            clear_cache()
+
+    def test_dataset_lookup_reaches_real_keys(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_DATASETS", str(tmp_path))
+        with pytest.raises(FileNotFoundError):
+            dataset("r_ork")
